@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the 256-bit register
+ * bit-vector (the data structure on LTRF's prefetch fast path).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/bitvec.hh"
+#include "common/rng.hh"
+
+using namespace ltrf;
+
+static RegBitVec
+randomVec(std::uint64_t seed, int bits)
+{
+    Rng rng(seed);
+    RegBitVec v;
+    for (int i = 0; i < bits; i++)
+        v.set(static_cast<int>(rng.nextBounded(256)));
+    return v;
+}
+
+static void
+BM_BitvecUnionCount(benchmark::State &state)
+{
+    RegBitVec a = randomVec(1, static_cast<int>(state.range(0)));
+    RegBitVec b = randomVec(2, static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        int c = (a | b).count();
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_BitvecUnionCount)->Arg(8)->Arg(32)->Arg(128);
+
+static void
+BM_BitvecForEach(benchmark::State &state)
+{
+    RegBitVec a = randomVec(3, static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        int sum = 0;
+        a.forEach([&](RegId r) { sum += r; });
+        benchmark::DoNotOptimize(sum);
+    }
+}
+BENCHMARK(BM_BitvecForEach)->Arg(8)->Arg(32)->Arg(128);
+
+static void
+BM_BitvecDifference(benchmark::State &state)
+{
+    RegBitVec a = randomVec(4, 32);
+    RegBitVec b = randomVec(5, 32);
+    for (auto _ : state) {
+        RegBitVec d = a - b;
+        benchmark::DoNotOptimize(d.count());
+    }
+}
+BENCHMARK(BM_BitvecDifference);

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the compiler passes:
+ * register-interval formation (Algorithms 1+2), strand formation,
+ * liveness, and trace generation over the workload suite.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/liveness.hh"
+#include "compiler/register_interval.hh"
+#include "compiler/trace_gen.hh"
+#include "workloads/workload.hh"
+
+using namespace ltrf;
+
+static void
+BM_IntervalFormation(benchmark::State &state)
+{
+    const Kernel &k = WorkloadSuite::all()[static_cast<size_t>(
+            state.range(0))].kernel;
+    FormationOptions opt;
+    opt.max_regs = 16;
+    for (auto _ : state) {
+        IntervalAnalysis ia = formRegisterIntervals(k, opt);
+        benchmark::DoNotOptimize(ia.intervals.size());
+    }
+    state.SetLabel(k.name);
+}
+BENCHMARK(BM_IntervalFormation)->DenseRange(0, 13);
+
+static void
+BM_StrandFormation(benchmark::State &state)
+{
+    const Kernel &k = WorkloadSuite::byName("sgemm").kernel;
+    for (auto _ : state) {
+        IntervalAnalysis ia = formStrands(k, 16);
+        benchmark::DoNotOptimize(ia.intervals.size());
+    }
+}
+BENCHMARK(BM_StrandFormation);
+
+static void
+BM_Liveness(benchmark::State &state)
+{
+    Kernel k = WorkloadSuite::byName("lavaMD").kernel;
+    for (auto _ : state) {
+        int marked = annotateDeadOperands(k);
+        benchmark::DoNotOptimize(marked);
+    }
+}
+BENCHMARK(BM_Liveness);
+
+static void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const Kernel &k = WorkloadSuite::byName("srad").kernel;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        WarpTrace t = generateTrace(k, seed++);
+        benchmark::DoNotOptimize(t.real_instrs);
+    }
+}
+BENCHMARK(BM_TraceGeneration);

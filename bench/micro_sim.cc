@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Google-benchmark microbenchmark for end-to-end simulation speed:
+ * simulated instructions per wall-clock second per design.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/gpu.hh"
+#include "workloads/workload.hh"
+
+using namespace ltrf;
+
+static void
+BM_Simulate(benchmark::State &state)
+{
+    const Workload &w = WorkloadSuite::byName("gaussian");
+    RfDesign design = static_cast<RfDesign>(state.range(0));
+    SimConfig cfg;
+    cfg.num_sms = 2;
+    cfg.design = design;
+    cfg.rf_capacity_mult = 8;
+    cfg.mrf_latency_mult = 6.3;
+    cfg.num_mrf_banks = 128;
+
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        SimResult r = simulate(cfg, w.kernel, 7);
+        instrs += r.instructions;
+        benchmark::DoNotOptimize(r.ipc);
+    }
+    state.counters["sim_instr_per_s"] = benchmark::Counter(
+            static_cast<double>(instrs), benchmark::Counter::kIsRate);
+    state.SetLabel(rfDesignName(design));
+}
+BENCHMARK(BM_Simulate)
+        ->Arg(static_cast<int>(RfDesign::BL))
+        ->Arg(static_cast<int>(RfDesign::RFC))
+        ->Arg(static_cast<int>(RfDesign::LTRF))
+        ->Arg(static_cast<int>(RfDesign::LTRF_PLUS));

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Command-line simulator front end: run any suite workload under any
+ * register file design, latency multiplier, and capacity, and print
+ * the full statistics block. This is the "driver binary" a user
+ * would script their own studies with.
+ *
+ * Usage:
+ *   latency_explorer [workload] [design] [latency-mult] [capacity-mult]
+ *   latency_explorer --list
+ *
+ * Examples:
+ *   latency_explorer sgemm LTRF 6.3 8
+ *   latency_explorer btree RFC 2.0 1
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/gpu.hh"
+#include "workloads/workload.hh"
+
+using namespace ltrf;
+
+namespace
+{
+
+RfDesign
+parseDesign(const std::string &s)
+{
+    for (RfDesign d : {RfDesign::BL, RfDesign::RFC, RfDesign::SHRF,
+                       RfDesign::LTRF_STRAND, RfDesign::LTRF,
+                       RfDesign::LTRF_PLUS, RfDesign::IDEAL}) {
+        if (s == rfDesignName(d))
+            return d;
+    }
+    std::fprintf(stderr, "unknown design '%s' (try BL, RFC, SHRF, "
+                 "\"LTRF(strand)\", LTRF, LTRF+, Ideal)\n", s.c_str());
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+        std::printf("%-16s %10s %6s %12s\n", "workload", "sensitive",
+                    "regs", "static instr");
+        for (const Workload &w : WorkloadSuite::all()) {
+            std::printf("%-16s %10s %6d %12d\n", w.name.c_str(),
+                        w.register_sensitive ? "yes" : "no",
+                        w.kernel.reg_demand,
+                        w.kernel.staticInstrCount());
+        }
+        return 0;
+    }
+
+    std::string workload = argc > 1 ? argv[1] : "sgemm";
+    RfDesign design = parseDesign(argc > 2 ? argv[2] : "LTRF");
+    double mult = argc > 3 ? std::atof(argv[3]) : 6.3;
+    int cap = argc > 4 ? std::atoi(argv[4]) : 8;
+
+    const Workload &w = WorkloadSuite::byName(workload);
+
+    SimConfig cfg;
+    cfg.num_sms = 4;
+    cfg.design = design;
+    cfg.mrf_latency_mult = mult;
+    cfg.rf_capacity_mult = cap;
+    cfg.num_mrf_banks = cap > 1 ? 128 : 16;
+
+    std::printf("workload %s | design %s | MRF latency %.1fx | "
+                "capacity %dx\n\n", w.name.c_str(), rfDesignName(design),
+                mult, cap);
+
+    Gpu gpu(cfg, w.kernel, 2018);
+    SimResult r = gpu.run();
+
+    std::printf("cycles                 %12llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("instructions           %12llu\n",
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("IPC (all SMs)          %12.3f\n", r.ipc);
+    std::printf("resident warps per SM  %12d\n", r.resident_warps);
+    std::printf("L1D hit rate           %12.3f\n", r.l1d_hit_rate);
+    std::printf("MRF accesses           %12llu\n",
+                static_cast<unsigned long long>(r.main_accesses));
+    std::printf("cache accesses         %12llu\n",
+                static_cast<unsigned long long>(r.cache_accesses));
+    if (usesRegCache(design))
+        std::printf("cache read hit rate    %12.3f\n", r.cache_hit_rate);
+    if (r.prefetch_ops) {
+        std::printf("PREFETCH operations    %12llu\n",
+                    static_cast<unsigned long long>(r.prefetch_ops));
+        std::printf("registers transferred  %12llu\n",
+                    static_cast<unsigned long long>(r.xfer_regs));
+        std::printf("prefetch stall cycles  %12llu\n",
+                    static_cast<unsigned long long>(
+                            r.prefetch_stall_cycles));
+    }
+    return 0;
+}

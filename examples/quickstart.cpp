@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Quickstart: build a small kernel with the DSL, compile it for each
+ * register file design, simulate, and print IPC and register file
+ * statistics.
+ *
+ * This is the 30-second tour of the public API:
+ *   KernelBuilder -> Kernel -> SimConfig -> simulate() -> SimResult.
+ */
+
+#include <cstdio>
+
+#include "isa/kernel_builder.hh"
+#include "sim/gpu.hh"
+
+using namespace ltrf;
+
+int
+main()
+{
+    // 1. Describe a kernel: a register-hungry multiply-add loop over
+    //    a cached tile. Branch trip counts and memory stream shapes
+    //    are workload metadata the trace generator uses.
+    KernelBuilder b("quickstart");
+    MemStreamSpec xs;
+    xs.working_set_lines = 48;          // tile that lives in the LLC
+    int sx = b.stream(xs);
+
+    b.mov(0).mov(1);                    // pointers
+    b.beginLoop(48);
+    b.load(2, 0, sx);                   // x[i]
+    for (int u = 0; u < 12; u++)        // unrolled MAD block
+        b.ffma(3 + u % 8, 2, 1, 3 + u % 8);
+    b.iadd(0, 0, 1);
+    b.endLoop();
+    b.store(3, 0, sx);
+    b.regDemand(96);                    // register-hungry kernel
+    Kernel kernel = b.build();
+
+    std::printf("kernel '%s': %d blocks, %d static instructions, "
+                "%d registers\n\n",
+                kernel.name.c_str(), kernel.numBlocks(),
+                kernel.staticInstrCount(), kernel.num_regs);
+
+    // 2. Simulate it under each register file design with an 8x
+    //    larger but 6.3x slower main register file (Table 2, #7).
+    std::printf("%-14s %10s %8s %12s %12s\n", "design", "cycles", "IPC",
+                "MRF accesses", "prefetches");
+    for (RfDesign d : {RfDesign::BL, RfDesign::RFC, RfDesign::SHRF,
+                       RfDesign::LTRF, RfDesign::LTRF_PLUS,
+                       RfDesign::IDEAL}) {
+        SimConfig cfg;
+        cfg.num_sms = 2;                // keep the example quick
+        cfg.design = d;
+        cfg.rf_capacity_mult = 8;
+        cfg.mrf_latency_mult = 6.3;
+
+        SimResult r = simulate(cfg, kernel);
+        std::printf("%-14s %10llu %8.3f %12llu %12llu\n", rfDesignName(d),
+                    static_cast<unsigned long long>(r.cycles), r.ipc,
+                    static_cast<unsigned long long>(r.main_accesses),
+                    static_cast<unsigned long long>(r.prefetch_ops));
+    }
+
+    std::printf("\nLTRF keeps the warps fed from the register cache, "
+                "so the slow main register file\nbarely shows; BL "
+                "pays its full latency on every operand.\n");
+    return 0;
+}

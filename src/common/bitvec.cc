@@ -1,0 +1,24 @@
+#include "common/bitvec.hh"
+
+#include <sstream>
+
+namespace ltrf
+{
+
+std::string
+RegBitVec::toString() const
+{
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    forEach([&](RegId r) {
+        if (!first)
+            os << ", ";
+        os << static_cast<int>(r);
+        first = false;
+    });
+    os << "}";
+    return os.str();
+}
+
+} // namespace ltrf

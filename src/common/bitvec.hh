@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Fixed-width 256-bit register bit-vector.
+ *
+ * PREFETCH operations, the Warp Control Block working-set vector, and
+ * the LTRF+ liveness vector are all 256 bits wide — one bit per
+ * architectural register a warp may own (see paper section 3.2).
+ */
+
+#ifndef LTRF_COMMON_BITVEC_HH
+#define LTRF_COMMON_BITVEC_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace ltrf
+{
+
+/**
+ * A 256-bit vector with one bit per architectural register.
+ *
+ * Provides set algebra (union, intersection, difference), population
+ * count, and iteration over set bits; all operations are O(words) or
+ * O(set bits).
+ */
+class RegBitVec
+{
+  public:
+    static constexpr int NUM_BITS = MAX_ARCH_REGS;
+    static constexpr int NUM_WORDS = NUM_BITS / 64;
+
+    /** Construct an all-zero vector. */
+    RegBitVec() : words{} {}
+
+    /** Construct from a list of register ids. */
+    RegBitVec(std::initializer_list<int> regs) : words{}
+    {
+        for (int r : regs)
+            set(r);
+    }
+
+    /** Set the bit for register @p r. */
+    void
+    set(int r)
+    {
+        checkIndex(r);
+        words[r >> 6] |= (std::uint64_t{1} << (r & 63));
+    }
+
+    /** Clear the bit for register @p r. */
+    void
+    clear(int r)
+    {
+        checkIndex(r);
+        words[r >> 6] &= ~(std::uint64_t{1} << (r & 63));
+    }
+
+    /** @return true if the bit for register @p r is set. */
+    bool
+    test(int r) const
+    {
+        checkIndex(r);
+        return (words[r >> 6] >> (r & 63)) & 1;
+    }
+
+    /** Clear every bit. */
+    void
+    reset()
+    {
+        words.fill(0);
+    }
+
+    /** @return the number of set bits. */
+    int
+    count() const
+    {
+        int n = 0;
+        for (auto w : words)
+            n += std::popcount(w);
+        return n;
+    }
+
+    /** @return true if no bit is set. */
+    bool
+    empty() const
+    {
+        for (auto w : words)
+            if (w)
+                return false;
+        return true;
+    }
+
+    /** In-place union. */
+    RegBitVec &
+    operator|=(const RegBitVec &o)
+    {
+        for (int i = 0; i < NUM_WORDS; i++)
+            words[i] |= o.words[i];
+        return *this;
+    }
+
+    /** In-place intersection. */
+    RegBitVec &
+    operator&=(const RegBitVec &o)
+    {
+        for (int i = 0; i < NUM_WORDS; i++)
+            words[i] &= o.words[i];
+        return *this;
+    }
+
+    /** In-place difference (this and-not other). */
+    RegBitVec &
+    operator-=(const RegBitVec &o)
+    {
+        for (int i = 0; i < NUM_WORDS; i++)
+            words[i] &= ~o.words[i];
+        return *this;
+    }
+
+    friend RegBitVec
+    operator|(RegBitVec a, const RegBitVec &b)
+    {
+        a |= b;
+        return a;
+    }
+
+    friend RegBitVec
+    operator&(RegBitVec a, const RegBitVec &b)
+    {
+        a &= b;
+        return a;
+    }
+
+    friend RegBitVec
+    operator-(RegBitVec a, const RegBitVec &b)
+    {
+        a -= b;
+        return a;
+    }
+
+    bool
+    operator==(const RegBitVec &o) const
+    {
+        return words == o.words;
+    }
+
+    bool
+    operator!=(const RegBitVec &o) const
+    {
+        return !(*this == o);
+    }
+
+    /** @return true if every bit set in @p o is also set in this. */
+    bool
+    contains(const RegBitVec &o) const
+    {
+        for (int i = 0; i < NUM_WORDS; i++)
+            if ((o.words[i] & ~words[i]) != 0)
+                return false;
+        return true;
+    }
+
+    /** @return true if this and @p o share at least one set bit. */
+    bool
+    intersects(const RegBitVec &o) const
+    {
+        for (int i = 0; i < NUM_WORDS; i++)
+            if (words[i] & o.words[i])
+                return true;
+        return false;
+    }
+
+    /** Collect the ids of all set bits in ascending order. */
+    std::vector<RegId>
+    toList() const
+    {
+        std::vector<RegId> out;
+        out.reserve(static_cast<size_t>(count()));
+        for (int i = 0; i < NUM_WORDS; i++) {
+            std::uint64_t w = words[i];
+            while (w) {
+                int bit = std::countr_zero(w);
+                out.push_back(static_cast<RegId>(i * 64 + bit));
+                w &= w - 1;
+            }
+        }
+        return out;
+    }
+
+    /** Apply @p fn to every set bit id in ascending order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (int i = 0; i < NUM_WORDS; i++) {
+            std::uint64_t w = words[i];
+            while (w) {
+                int bit = std::countr_zero(w);
+                fn(static_cast<RegId>(i * 64 + bit));
+                w &= w - 1;
+            }
+        }
+    }
+
+    /** Render as e.g. "{1, 5, 17}" for diagnostics. */
+    std::string toString() const;
+
+  private:
+    static void
+    checkIndex(int r)
+    {
+        ltrf_assert(r >= 0 && r < NUM_BITS,
+                    "register id %d out of range [0, %d)", r, NUM_BITS);
+    }
+
+    std::array<std::uint64_t, NUM_WORDS> words;
+};
+
+} // namespace ltrf
+
+#endif // LTRF_COMMON_BITVEC_HH

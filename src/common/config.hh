@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Simulated system configuration (paper Table 3) plus the design
+ * knobs the evaluation sweeps (register file design, main register
+ * file latency multiplier, capacity multiplier, interval size, and
+ * active warp count).
+ */
+
+#ifndef LTRF_COMMON_CONFIG_HH
+#define LTRF_COMMON_CONFIG_HH
+
+#include <cmath>
+#include <string>
+
+#include "common/types.hh"
+
+namespace ltrf
+{
+
+/**
+ * The register file system designs evaluated in the paper.
+ *
+ * BL          - conventional non-cached register file (baseline).
+ * RFC         - hardware register file cache, Gebhart et al. [19].
+ * SHRF        - software-managed hierarchical RF with strands [20].
+ * LTRF_STRAND - LTRF prefetching at strand boundaries (section 6.6).
+ * LTRF        - LTRF with register-intervals (the contribution).
+ * LTRF_PLUS   - operand-liveness-aware LTRF (section 3.2).
+ * IDEAL       - any capacity with no latency overhead.
+ */
+enum class RfDesign
+{
+    BL,
+    RFC,
+    SHRF,
+    LTRF_STRAND,
+    LTRF,
+    LTRF_PLUS,
+    IDEAL,
+};
+
+/** @return a short printable name, e.g. "LTRF+". */
+const char *rfDesignName(RfDesign d);
+
+/** @return true for designs that use the register file cache. */
+inline bool
+usesRegCache(RfDesign d)
+{
+    return d != RfDesign::BL && d != RfDesign::IDEAL;
+}
+
+/** @return true for designs that prefetch at compiler-chosen points. */
+inline bool
+usesPrefetch(RfDesign d)
+{
+    return d == RfDesign::LTRF_STRAND || d == RfDesign::LTRF ||
+           d == RfDesign::LTRF_PLUS;
+}
+
+/**
+ * Full simulated-system configuration.
+ *
+ * Defaults follow paper Table 3 (NVIDIA Maxwell-like), with the one
+ * practical difference that benches may scale down num_sms; DRAM
+ * bandwidth is scaled with the SM count so per-SM pressure matches.
+ */
+struct SimConfig
+{
+    // ----- Chip organization (Table 3) -----
+    int num_sms = 8;                ///< paper: 24; benches scale DRAM with it
+    int max_warps_per_sm = 64;      ///< resident warp contexts
+    int num_active_warps = 8;       ///< two-level scheduler active pool
+
+    // ----- Register file organization -----
+    /** Baseline main register file bytes per SM (256KB). */
+    std::size_t rf_bytes = 256 * 1024;
+    /** Capacity multiplier for enlarged designs (8x in the paper). */
+    int rf_capacity_mult = 1;
+    /** Register file cache bytes per SM (16KB). */
+    std::size_t rf_cache_bytes = 16 * 1024;
+    /** Number of main register file banks. */
+    int num_mrf_banks = 16;
+    /** Maximum registers allowed in a register-interval (= cache banks). */
+    int regs_per_interval = 16;
+
+    // ----- Latencies (core cycles) -----
+    /** Baseline main RF access latency (operand collectors hold it). */
+    int base_mrf_latency = 2;
+    /** Main RF latency multiplier (Table 2 column "Latency"). */
+    double mrf_latency_mult = 1.0;
+    /** Register file cache bank access latency. */
+    int cache_latency = 1;
+    /** Operand crossbar / arbitration overhead added to a collection. */
+    int operand_xbar_latency = 1;
+    /** MRF-to-cache prefetch crossbar transfer latency (1/4-width). */
+    int prefetch_xbar_latency = 4;
+    /** Extra cycle to consult the Warp Control Block (section 4.3). */
+    int wcb_latency = 1;
+
+    // ----- Pipeline -----
+    int issue_width = 2;            ///< instructions issued per SM cycle
+    int num_operand_collectors = 8; ///< concurrent operand collections
+
+    // ----- Memory hierarchy (Table 3) -----
+    std::size_t l1d_bytes = 16 * 1024;
+    int l1d_assoc = 4;
+    std::size_t l1i_bytes = 2 * 1024;
+    int l1i_assoc = 4;
+    std::size_t llc_bytes = 2 * 1024 * 1024;
+    int llc_assoc = 8;
+    int line_bytes = 128;
+    int l1d_hit_latency = 28;       ///< core cycles to return an L1D hit
+    /**
+     * Additional cycles for an LLC hit. Microbenchmarked Maxwell L2
+     * latency is ~190-200 core cycles, which is also what makes the
+     * occupancy gains of larger register files (Figure 3) match the
+     * paper: the two-level scheduler needs enough resident warps to
+     * cover this latency.
+     */
+    int llc_latency = 200;
+    int dram_latency = 200;         ///< DRAM bank access latency
+    /**
+     * 8 GDDR5 channels x 16 banks per device. Bank-level parallelism
+     * matters: with too few banks, synchronized warp waves convoy
+     * behind 200-cycle row misses and memory latency balloons.
+     */
+    int num_dram_banks = 128;
+    /** DRAM data-bus cycles occupied per 128B line (bandwidth model). */
+    int dram_service_cycles = 1;
+
+    // ----- Design selection -----
+    RfDesign design = RfDesign::BL;
+
+    // ----- Derived quantities -----
+
+    /** Main RF capacity in warp-wide registers (with multiplier). */
+    int
+    numMrfRegs() const
+    {
+        return static_cast<int>(rf_bytes * rf_capacity_mult /
+                                BYTES_PER_WARP_REG);
+    }
+
+    /** Register cache capacity in warp-wide registers. */
+    int
+    numCacheRegs() const
+    {
+        return static_cast<int>(rf_cache_bytes / BYTES_PER_WARP_REG);
+    }
+
+    /** Effective (multiplied) main RF bank access latency in cycles. */
+    int
+    mrfLatency() const
+    {
+        return std::max(1, static_cast<int>(
+                std::lround(base_mrf_latency * mrf_latency_mult)));
+    }
+
+    /** Registers of cache space dedicated to one active warp. */
+    int
+    cacheRegsPerWarp() const
+    {
+        return numCacheRegs() / num_active_warps;
+    }
+
+    /** Sanity-check the configuration; calls fatal() on user error. */
+    void validate() const;
+};
+
+} // namespace ltrf
+
+#endif // LTRF_COMMON_CONFIG_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic()  - an internal invariant was violated (a simulator bug);
+ *            aborts the process.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments); exits cleanly.
+ * warn()   - something is modeled approximately but execution can go on.
+ * inform() - a purely informational status message.
+ */
+
+#ifndef LTRF_COMMON_LOG_HH
+#define LTRF_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ltrf
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Minimal printf-style formatter returning a std::string. */
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+#define ltrf_panic(...) \
+    ::ltrf::detail::panicImpl(__FILE__, __LINE__, \
+                              ::ltrf::detail::format(__VA_ARGS__))
+
+#define ltrf_fatal(...) \
+    ::ltrf::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::ltrf::detail::format(__VA_ARGS__))
+
+#define ltrf_warn(...) \
+    ::ltrf::detail::warnImpl(::ltrf::detail::format(__VA_ARGS__))
+
+#define ltrf_inform(...) \
+    ::ltrf::detail::informImpl(::ltrf::detail::format(__VA_ARGS__))
+
+/** Assert an internal invariant; active in all build types. */
+#define ltrf_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ltrf_panic("assertion '%s' failed: %s", #cond, \
+                       ::ltrf::detail::format(__VA_ARGS__).c_str()); \
+        } \
+    } while (0)
+
+} // namespace ltrf
+
+#endif // LTRF_COMMON_LOG_HH

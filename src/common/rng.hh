@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic xorshift64* random number generator.
+ *
+ * Every source of randomness in the simulator (branch outcomes,
+ * per-warp trip-count jitter, memory address streams) draws from a
+ * seeded Rng so that runs are bit-for-bit reproducible.
+ */
+
+#ifndef LTRF_COMMON_RNG_HH
+#define LTRF_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace ltrf
+{
+
+/** Small, fast, deterministic PRNG (xorshift64*). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    /** @return the next 64 uniformly distributed bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** @return a uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return true with probability @p p. */
+    bool
+    nextBool(double p)
+    {
+        return nextDouble() < p;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/** Mix two seeds into one (splitmix-style), for per-warp derivation. */
+inline std::uint64_t
+mixSeeds(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t z = a + 0x9e3779b97f4a7c15ull * (b + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace ltrf
+
+#endif // LTRF_COMMON_RNG_HH

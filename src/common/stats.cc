@@ -1,0 +1,13 @@
+#include "common/stats.hh"
+
+namespace ltrf
+{
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[n, c] : counters)
+        os << name << "." << n << " " << c->value() << "\n";
+}
+
+} // namespace ltrf

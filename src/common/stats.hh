@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Lightweight named statistics, in the spirit of gem5's stats package.
+ *
+ * A StatGroup owns a set of named scalar counters and formula results;
+ * components register their counters at construction time and the
+ * harnesses dump them uniformly.
+ */
+
+#ifndef LTRF_COMMON_STATS_HH
+#define LTRF_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "common/log.hh"
+
+namespace ltrf
+{
+
+/** A monotonically increasing scalar counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++(int) { val++; }
+    void operator+=(std::uint64_t d) { val += d; }
+    std::uint64_t value() const { return val; }
+    void reset() { val = 0; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/**
+ * A named collection of counters.
+ *
+ * Counters live inside the owning component; the group stores
+ * pointers so that dumping and resetting can be done generically.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string group_name) : name(std::move(group_name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register @p c under @p stat_name; names must be unique. */
+    void
+    add(const std::string &stat_name, Counter *c)
+    {
+        ltrf_assert(c != nullptr, "null counter '%s'", stat_name.c_str());
+        auto [it, inserted] = counters.emplace(stat_name, c);
+        (void)it;
+        ltrf_assert(inserted, "duplicate stat '%s' in group '%s'",
+                    stat_name.c_str(), name.c_str());
+    }
+
+    /** Look a counter up by name; panics if missing. */
+    std::uint64_t
+    value(const std::string &stat_name) const
+    {
+        auto it = counters.find(stat_name);
+        ltrf_assert(it != counters.end(), "no stat '%s' in group '%s'",
+                    stat_name.c_str(), name.c_str());
+        return it->second->value();
+    }
+
+    /** @return true if a counter named @p stat_name exists. */
+    bool
+    has(const std::string &stat_name) const
+    {
+        return counters.count(stat_name) > 0;
+    }
+
+    /** Reset every registered counter to zero. */
+    void
+    resetAll()
+    {
+        for (auto &[n, c] : counters)
+            c->reset();
+    }
+
+    /** Print "group.stat value" lines to @p os. */
+    void dump(std::ostream &os) const;
+
+    const std::string &groupName() const { return name; }
+
+  private:
+    std::string name;
+    std::map<std::string, Counter *> counters;
+};
+
+} // namespace ltrf
+
+#endif // LTRF_COMMON_STATS_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the LTRF code base.
+ */
+
+#ifndef LTRF_COMMON_TYPES_HH
+#define LTRF_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ltrf
+{
+
+/** Simulation time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Architectural register identifier within a warp (0..255). */
+using RegId = std::int16_t;
+
+/** Warp identifier within an SM. */
+using WarpId = std::int32_t;
+
+/** Basic-block identifier within a kernel CFG. */
+using BlockId = std::int32_t;
+
+/** Register-interval identifier produced by the formation passes. */
+using IntervalId = std::int32_t;
+
+/** Sentinel for "no register". */
+constexpr RegId INVALID_REG = -1;
+
+/** Sentinel for "no basic block". */
+constexpr BlockId INVALID_BLOCK = -1;
+
+/** Sentinel for "no interval" (Algorithm 1's "Unknown"). */
+constexpr IntervalId UNKNOWN_INTERVAL = -1;
+
+/** Sentinel cycle meaning "never". */
+constexpr Cycle NEVER = std::numeric_limits<Cycle>::max();
+
+/**
+ * Maximum number of architectural registers the CUDA compiler can
+ * allocate to a thread (latest CUDA versions, per the paper); this is
+ * also the width of PREFETCH bit-vectors.
+ */
+constexpr int MAX_ARCH_REGS = 256;
+
+/** Threads per warp. */
+constexpr int WARP_WIDTH = 32;
+
+/** Bytes per warp-wide register (32 threads x 32 bits). */
+constexpr int BYTES_PER_WARP_REG = WARP_WIDTH * 4;
+
+} // namespace ltrf
+
+#endif // LTRF_COMMON_TYPES_HH

@@ -1,0 +1,155 @@
+#include "compiler/cfg_analysis.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ltrf
+{
+
+bool
+CfgInfo::dominates(BlockId a, BlockId b) const
+{
+    // Walk the dominator tree upward from b.
+    BlockId cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        BlockId up = idom[cur];
+        if (up == cur)
+            return false;
+        cur = up;
+    }
+}
+
+namespace
+{
+
+/** Depth-first postorder over reachable blocks, iterative. */
+void
+postorder(const Kernel &k, std::vector<BlockId> &order)
+{
+    std::vector<char> visited(k.numBlocks(), 0);
+    // Stack holds (block, next successor index to try).
+    std::vector<std::pair<BlockId, size_t>> stack;
+    stack.emplace_back(k.entry(), 0);
+    visited[k.entry()] = 1;
+    while (!stack.empty()) {
+        auto &[b, si] = stack.back();
+        const auto &succs = k.block(b).succs;
+        if (si < succs.size()) {
+            BlockId s = succs[si++];
+            if (!visited[s]) {
+                visited[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            order.push_back(b);
+            stack.pop_back();
+        }
+    }
+}
+
+} // namespace
+
+CfgInfo
+analyzeCfg(const Kernel &kernel)
+{
+    const int n = kernel.numBlocks();
+    CfgInfo info;
+    info.rpo_index.assign(n, -1);
+    info.idom.assign(n, INVALID_BLOCK);
+
+    std::vector<BlockId> post;
+    post.reserve(n);
+    postorder(kernel, post);
+
+    info.rpo.assign(post.rbegin(), post.rend());
+    for (size_t i = 0; i < info.rpo.size(); i++)
+        info.rpo_index[info.rpo[i]] = static_cast<int>(i);
+
+    // Cooper-Harvey-Kennedy iterative dominators.
+    const BlockId entry = kernel.entry();
+    info.idom[entry] = entry;
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (info.rpo_index[a] > info.rpo_index[b])
+                a = info.idom[a];
+            while (info.rpo_index[b] > info.rpo_index[a])
+                b = info.idom[b];
+        }
+        return a;
+    };
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b : info.rpo) {
+            if (b == entry)
+                continue;
+            BlockId new_idom = INVALID_BLOCK;
+            for (BlockId p : kernel.block(b).preds) {
+                if (!info.reachable(p) || info.idom[p] == INVALID_BLOCK)
+                    continue;
+                new_idom = (new_idom == INVALID_BLOCK)
+                                   ? p
+                                   : intersect(new_idom, p);
+            }
+            if (new_idom != INVALID_BLOCK && info.idom[b] != new_idom) {
+                info.idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    // Back edges: tail -> head where head dominates tail. Retreating
+    // edges that are not back edges make the CFG irreducible.
+    for (BlockId b : info.rpo) {
+        for (BlockId s : kernel.block(b).succs) {
+            if (info.rpo_index[s] <= info.rpo_index[b]) {
+                if (info.dominates(s, b))
+                    info.back_edges.emplace_back(b, s);
+                else
+                    info.reducible = false;
+            }
+        }
+    }
+
+    // Natural loop per back edge: all blocks that can reach the tail
+    // without passing through the header.
+    for (auto [tail, head] : info.back_edges) {
+        LoopInfo loop;
+        loop.header = head;
+        loop.latch = tail;
+        std::vector<char> in_loop(n, 0);
+        in_loop[head] = 1;
+        std::vector<BlockId> work;
+        if (!in_loop[tail]) {
+            in_loop[tail] = 1;
+            work.push_back(tail);
+        }
+        while (!work.empty()) {
+            BlockId b = work.back();
+            work.pop_back();
+            for (BlockId p : kernel.block(b).preds) {
+                if (!in_loop[p] && info.reachable(p)) {
+                    in_loop[p] = 1;
+                    work.push_back(p);
+                }
+            }
+        }
+        for (BlockId b = 0; b < n; b++)
+            if (in_loop[b])
+                loop.body.push_back(b);
+        info.loops.push_back(std::move(loop));
+    }
+
+    // Sort loops by body size so inner loops come first.
+    std::sort(info.loops.begin(), info.loops.end(),
+              [](const LoopInfo &a, const LoopInfo &b) {
+                  return a.body.size() < b.body.size();
+              });
+
+    return info;
+}
+
+} // namespace ltrf

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Classic CFG analyses: reverse postorder, dominators, back edges,
+ * natural loops, and reducibility.
+ *
+ * Register-interval formation (paper section 3.3) relies on natural
+ * loops and reducible CFGs; these analyses also back the test suite's
+ * structural checks.
+ */
+
+#ifndef LTRF_COMPILER_CFG_ANALYSIS_HH
+#define LTRF_COMPILER_CFG_ANALYSIS_HH
+
+#include <utility>
+#include <vector>
+
+#include "isa/kernel.hh"
+
+namespace ltrf
+{
+
+/** A natural loop discovered from a back edge. */
+struct LoopInfo
+{
+    BlockId header = INVALID_BLOCK;
+    BlockId latch = INVALID_BLOCK;
+    /** All blocks in the loop body, header included. */
+    std::vector<BlockId> body;
+};
+
+/** Results of the structural CFG analyses for one kernel. */
+struct CfgInfo
+{
+    /** Blocks in reverse postorder (entry first). */
+    std::vector<BlockId> rpo;
+    /** rpo_index[b] = position of b in rpo; -1 if unreachable. */
+    std::vector<int> rpo_index;
+    /** Immediate dominator per block; entry's idom is itself. */
+    std::vector<BlockId> idom;
+    /** Back edges (tail, head) where head dominates tail. */
+    std::vector<std::pair<BlockId, BlockId>> back_edges;
+    /** Natural loops, one per back edge, outermost-last order. */
+    std::vector<LoopInfo> loops;
+    /** True if every retreating edge is a back edge. */
+    bool reducible = true;
+
+    /** @return true if @p a dominates @p b. */
+    bool dominates(BlockId a, BlockId b) const;
+
+    /** @return true if block @p b is reachable from the entry. */
+    bool reachable(BlockId b) const { return rpo_index[b] >= 0; }
+};
+
+/** Run all analyses on @p kernel. */
+CfgInfo analyzeCfg(const Kernel &kernel);
+
+} // namespace ltrf
+
+#endif // LTRF_COMPILER_CFG_ANALYSIS_HH

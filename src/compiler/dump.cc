@@ -1,0 +1,114 @@
+#include "compiler/dump.hh"
+
+#include <sstream>
+
+#include "compiler/register_interval.hh"
+
+namespace ltrf
+{
+
+namespace
+{
+
+const char *
+branchKindName(BranchProfile::Kind k)
+{
+    switch (k) {
+      case BranchProfile::Kind::NONE: return "none";
+      case BranchProfile::Kind::LOOP: return "loop";
+      case BranchProfile::Kind::COND: return "cond";
+    }
+    return "?";
+}
+
+/** Pastel fill colors cycled per interval in the dot output. */
+const char *const INTERVAL_COLORS[] = {
+        "#cce5ff", "#d4edda", "#fff3cd", "#f8d7da",
+        "#e2d9f3", "#d1ecf1", "#fde2c8", "#e9ecef",
+};
+
+} // namespace
+
+void
+dumpKernel(std::ostream &os, const Kernel &kernel)
+{
+    os << ".kernel " << kernel.name << "  ; " << kernel.numBlocks()
+       << " blocks, " << kernel.num_regs << " regs (demand "
+       << kernel.reg_demand << ")\n";
+    for (const auto &bb : kernel.blocks) {
+        os << "B" << bb.id << ":";
+        if (bb.branch.kind == BranchProfile::Kind::LOOP) {
+            os << "  ; loop latch, trip " << bb.branch.trip_count;
+            if (bb.branch.trip_jitter)
+                os << " +-" << bb.branch.trip_jitter;
+        } else if (bb.branch.kind == BranchProfile::Kind::COND) {
+            os << "  ; cond, p(taken)=" << bb.branch.taken_prob;
+        }
+        os << "\n";
+        for (const auto &in : bb.instrs)
+            os << "    " << in.toString() << "\n";
+        if (!bb.succs.empty()) {
+            os << "    -> ";
+            for (size_t i = 0; i < bb.succs.size(); i++)
+                os << (i ? ", " : "") << "B" << bb.succs[i];
+            os << "\n";
+        }
+    }
+}
+
+std::string
+kernelToString(const Kernel &kernel)
+{
+    std::ostringstream os;
+    dumpKernel(os, kernel);
+    return os.str();
+}
+
+void
+dumpCfgDot(std::ostream &os, const Kernel &kernel,
+           const IntervalAnalysis *analysis)
+{
+    os << "digraph \"" << kernel.name << "\" {\n";
+    os << "  node [shape=box, fontname=\"monospace\"];\n";
+
+    auto emit_node = [&](const BasicBlock &bb, const char *fill) {
+        os << "  B" << bb.id << " [label=\"B" << bb.id << "\\n"
+           << bb.realInstrCount() << " instrs\"";
+        if (fill)
+            os << ", style=filled, fillcolor=\"" << fill << "\"";
+        os << "];\n";
+    };
+
+    if (analysis) {
+        for (const auto &iv : analysis->intervals) {
+            const char *fill = INTERVAL_COLORS[
+                    iv.id % (sizeof(INTERVAL_COLORS) /
+                             sizeof(INTERVAL_COLORS[0]))];
+            os << "  subgraph cluster_" << iv.id << " {\n";
+            os << "    label=\"interval " << iv.id << " ws="
+               << iv.working_set.count() << "\";\n";
+            for (BlockId b : iv.blocks) {
+                os << "  ";
+                emit_node(kernel.block(b), fill);
+            }
+            os << "  }\n";
+        }
+    } else {
+        for (const auto &bb : kernel.blocks)
+            emit_node(bb, nullptr);
+    }
+
+    for (const auto &bb : kernel.blocks) {
+        for (size_t i = 0; i < bb.succs.size(); i++) {
+            os << "  B" << bb.id << " -> B" << bb.succs[i];
+            if (bb.succs.size() == 2) {
+                os << " [label=\""
+                   << (i == 0 ? "taken" : "fall") << "\"]";
+            }
+            os << ";\n";
+        }
+    }
+    os << "}\n";
+}
+
+} // namespace ltrf

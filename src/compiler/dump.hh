@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Human-readable dumps of kernels and interval analyses: an
+ * assembly-like text listing and a Graphviz CFG rendering with
+ * blocks grouped by register-interval.
+ */
+
+#ifndef LTRF_COMPILER_DUMP_HH
+#define LTRF_COMPILER_DUMP_HH
+
+#include <ostream>
+#include <string>
+
+#include "isa/kernel.hh"
+
+namespace ltrf
+{
+
+struct IntervalAnalysis;
+
+/**
+ * Write an assembly-like listing of @p kernel to @p os:
+ * block labels, instructions, successor edges, and branch profiles.
+ */
+void dumpKernel(std::ostream &os, const Kernel &kernel);
+
+/** Convenience: dumpKernel into a string. */
+std::string kernelToString(const Kernel &kernel);
+
+/**
+ * Write a Graphviz dot rendering of @p kernel's CFG to @p os. When
+ * @p analysis is non-null, blocks are clustered and colored by
+ * register-interval and each cluster is labeled with its working
+ * set — the visualization of paper Figure 6.
+ */
+void dumpCfgDot(std::ostream &os, const Kernel &kernel,
+                const IntervalAnalysis *analysis = nullptr);
+
+} // namespace ltrf
+
+#endif // LTRF_COMPILER_DUMP_HH

@@ -1,0 +1,109 @@
+#include "compiler/liveness.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ltrf
+{
+
+LivenessInfo
+computeLiveness(const Kernel &kernel)
+{
+    const int n = kernel.numBlocks();
+    LivenessInfo info;
+    info.use.assign(n, RegBitVec{});
+    info.def.assign(n, RegBitVec{});
+    info.live_in.assign(n, RegBitVec{});
+    info.live_out.assign(n, RegBitVec{});
+
+    // Local use/def: a read is upward-exposed if not preceded by a
+    // definition of the same register within the block.
+    for (int b = 0; b < n; b++) {
+        for (const auto &in : kernel.block(b).instrs) {
+            if (in.op == Opcode::PREFETCH)
+                continue;
+            for (RegId s : in.srcs) {
+                if (s != INVALID_REG && !info.def[b].test(s))
+                    info.use[b].set(s);
+            }
+            if (in.dst != INVALID_REG)
+                info.def[b].set(in.dst);
+        }
+    }
+
+    // Iterate to a fixed point, backward.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        info.iterations++;
+        for (int b = n - 1; b >= 0; b--) {
+            RegBitVec out;
+            for (BlockId s : kernel.block(b).succs)
+                out |= info.live_in[s];
+            RegBitVec in = info.use[b] | (out - info.def[b]);
+            if (out != info.live_out[b] || in != info.live_in[b]) {
+                info.live_out[b] = out;
+                info.live_in[b] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+    return info;
+}
+
+int
+annotateDeadOperands(Kernel &kernel)
+{
+    LivenessInfo info = computeLiveness(kernel);
+    int marked = 0;
+
+    for (auto &bb : kernel.blocks) {
+        // Walk instructions backward; 'live' holds the set live
+        // *after* the instruction being processed.
+        RegBitVec live = info.live_out[bb.id];
+        for (auto it = bb.instrs.rbegin(); it != bb.instrs.rend(); ++it) {
+            Instruction &in = *it;
+            if (in.op == Opcode::PREFETCH)
+                continue;
+            for (int i = 0; i < 3; i++) {
+                if (in.srcs[i] == INVALID_REG)
+                    continue;
+                in.src_dead[i] = !live.test(in.srcs[i]);
+                if (in.src_dead[i])
+                    marked++;
+            }
+            if (in.dst != INVALID_REG)
+                live.clear(in.dst);
+            for (RegId s : in.srcs)
+                if (s != INVALID_REG)
+                    live.set(s);
+        }
+    }
+    return marked;
+}
+
+int
+maxLiveRegs(const Kernel &kernel)
+{
+    LivenessInfo info = computeLiveness(kernel);
+    int max_live = 0;
+    for (const auto &bb : kernel.blocks) {
+        RegBitVec live = info.live_out[bb.id];
+        max_live = std::max(max_live, live.count());
+        for (auto it = bb.instrs.rbegin(); it != bb.instrs.rend(); ++it) {
+            const Instruction &in = *it;
+            if (in.op == Opcode::PREFETCH)
+                continue;
+            if (in.dst != INVALID_REG)
+                live.clear(in.dst);
+            for (RegId s : in.srcs)
+                if (s != INVALID_REG)
+                    live.set(s);
+            max_live = std::max(max_live, live.count());
+        }
+    }
+    return max_live;
+}
+
+} // namespace ltrf

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Dataflow liveness analysis and dead-operand-bit annotation.
+ *
+ * LTRF+ (paper section 3.2) requires each read operand to carry a
+ * "dead operand bit" indicating that the register will not be read
+ * again after the instruction; the bit is computed conservatively at
+ * compile time by static liveness analysis. The same analysis yields
+ * per-block live-in sets used by tests and by the LTRF+ runtime model
+ * to bound live-register write-back volume.
+ */
+
+#ifndef LTRF_COMPILER_LIVENESS_HH
+#define LTRF_COMPILER_LIVENESS_HH
+
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "isa/kernel.hh"
+
+namespace ltrf
+{
+
+/** Per-block liveness sets. */
+struct LivenessInfo
+{
+    std::vector<RegBitVec> use;      ///< upward-exposed reads per block
+    std::vector<RegBitVec> def;      ///< definitions per block
+    std::vector<RegBitVec> live_in;  ///< live at block entry
+    std::vector<RegBitVec> live_out; ///< live at block exit
+    int iterations = 0;              ///< dataflow rounds to converge
+};
+
+/** Compute liveness sets for @p kernel. */
+LivenessInfo computeLiveness(const Kernel &kernel);
+
+/**
+ * Fill in Instruction::src_dead for every instruction of @p kernel:
+ * src_dead[i] is set when source i's register is not live after the
+ * instruction. Conservative across control flow (uses live_out).
+ *
+ * @return the number of operands marked dead.
+ */
+int annotateDeadOperands(Kernel &kernel);
+
+/**
+ * Upper bound on the number of registers ever simultaneously live
+ * (max over blocks/instructions of the live set size); used to
+ * sanity-check workload register demand.
+ */
+int maxLiveRegs(const Kernel &kernel);
+
+} // namespace ltrf
+
+#endif // LTRF_COMPILER_LIVENESS_HH

@@ -1,0 +1,36 @@
+#include "compiler/prefetch_insert.hh"
+
+#include "common/log.hh"
+
+namespace ltrf
+{
+
+PrefetchCodeSize
+insertPrefetchOps(IntervalAnalysis &analysis)
+{
+    PrefetchCodeSize out;
+    out.base_bytes = static_cast<std::uint64_t>(
+            analysis.kernel.staticInstrCount()) * INSTR_BYTES;
+
+    for (const auto &iv : analysis.intervals) {
+        BasicBlock &header = analysis.kernel.block(iv.header);
+        ltrf_assert(header.instrs.empty() ||
+                    header.instrs.front().op != Opcode::PREFETCH,
+                    "interval %d header %d already has a PREFETCH", iv.id,
+                    iv.header);
+        header.instrs.insert(header.instrs.begin(),
+                             Instruction::prefetch(iv.working_set));
+        out.num_prefetch_ops++;
+    }
+
+    std::uint64_t vec_bytes = static_cast<std::uint64_t>(
+            out.num_prefetch_ops) * PREFETCH_VECTOR_BYTES;
+    out.bitvec_only_bytes = out.base_bytes + vec_bytes;
+    out.with_instr_bytes = out.base_bytes + vec_bytes +
+            static_cast<std::uint64_t>(out.num_prefetch_ops) * INSTR_BYTES;
+
+    analysis.kernel.validate();
+    return out;
+}
+
+} // namespace ltrf

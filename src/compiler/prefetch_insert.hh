@@ -1,0 +1,63 @@
+/**
+ * @file
+ * PREFETCH operation insertion and code-size accounting.
+ *
+ * After interval formation, a PREFETCH instruction carrying the
+ * interval's working-set bit-vector is placed at the top of each
+ * interval's header block (paper section 3.1). Section 4.3 discusses
+ * two encodings: a bare 256-bit bit-vector flagged by an extra bit in
+ * the preceding instruction (+7% code size in the paper), or an
+ * explicit prefetch instruction followed by the bit-vector (+9%).
+ * Both are accounted for here.
+ */
+
+#ifndef LTRF_COMPILER_PREFETCH_INSERT_HH
+#define LTRF_COMPILER_PREFETCH_INSERT_HH
+
+#include "compiler/register_interval.hh"
+
+namespace ltrf
+{
+
+/** Code-size accounting for the two PREFETCH encodings. */
+struct PrefetchCodeSize
+{
+    int num_prefetch_ops = 0;
+    std::uint64_t base_bytes = 0;          ///< original code bytes
+    std::uint64_t bitvec_only_bytes = 0;   ///< embedded-bit encoding
+    std::uint64_t with_instr_bytes = 0;    ///< explicit-instruction encoding
+
+    double
+    bitvecOverhead() const
+    {
+        return base_bytes == 0 ? 0.0
+                               : static_cast<double>(bitvec_only_bytes) /
+                                         static_cast<double>(base_bytes) -
+                                         1.0;
+    }
+
+    double
+    instrOverhead() const
+    {
+        return base_bytes == 0 ? 0.0
+                               : static_cast<double>(with_instr_bytes) /
+                                         static_cast<double>(base_bytes) -
+                                         1.0;
+    }
+};
+
+/** Assumed instruction encoding width (bytes). */
+constexpr int INSTR_BYTES = 8;
+/** PREFETCH bit-vector width (bytes): 256 bits. */
+constexpr int PREFETCH_VECTOR_BYTES = MAX_ARCH_REGS / 8;
+
+/**
+ * Insert a PREFETCH at the top of every interval header in
+ * @p analysis and return the code-size accounting. Idempotent use is
+ * a bug: panics if a header already starts with a PREFETCH.
+ */
+PrefetchCodeSize insertPrefetchOps(IntervalAnalysis &analysis);
+
+} // namespace ltrf
+
+#endif // LTRF_COMPILER_PREFETCH_INSERT_HH

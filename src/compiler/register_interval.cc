@@ -1,0 +1,443 @@
+#include "compiler/register_interval.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/log.hh"
+
+namespace ltrf
+{
+
+namespace
+{
+
+/**
+ * Split @p b before instruction index @p at: instructions [at, end)
+ * move into a fresh block that inherits b's successors and branch
+ * profile; b falls through to the new block. @return the new block id.
+ */
+BlockId
+splitBlock(Kernel &k, BlockId b, size_t at)
+{
+    BasicBlock nb;
+    nb.id = static_cast<BlockId>(k.blocks.size());
+    {
+        BasicBlock &src = k.block(b);
+        ltrf_assert(at > 0 && at < src.instrs.size(),
+                    "bad split point %zu in block %d (%zu instrs)", at, b,
+                    src.instrs.size());
+        nb.instrs.assign(src.instrs.begin() + at, src.instrs.end());
+        src.instrs.erase(src.instrs.begin() + at, src.instrs.end());
+        nb.succs = src.succs;
+        nb.branch = src.branch;
+        src.succs = {nb.id};
+        src.branch = BranchProfile{};
+        nb.preds = {b};
+    }
+    k.blocks.push_back(std::move(nb));
+    BlockId nid = k.blocks.back().id;
+    // Redirect successor predecessor lists from b to the new block.
+    for (BlockId s : k.blocks[nid].succs) {
+        for (BlockId &p : k.block(s).preds)
+            if (p == b)
+                p = nid;
+    }
+    k.block(b).preds.erase(
+            std::remove(k.block(b).preds.begin(), k.block(b).preds.end(), b),
+            k.block(b).preds.end());
+    // A self-loop b->b becomes nid->b after the split; the pred fixup
+    // above already rewrote it, nothing more to do.
+    return nid;
+}
+
+/** Worklist-driven implementation of Algorithm 1. */
+class Pass1
+{
+  public:
+    Pass1(Kernel kernel, const FormationOptions &o)
+        : k(std::move(kernel)), opt(o)
+    {}
+
+    struct Itv
+    {
+        BlockId header;
+        std::vector<BlockId> members;
+        RegBitVec ws;
+    };
+
+    Kernel k;
+    FormationOptions opt;
+    std::vector<IntervalId> itv;      ///< per-block interval (Unknown=-1)
+    std::vector<RegBitVec> input;     ///< Algorithm 1 input_list
+    std::vector<RegBitVec> output;    ///< Algorithm 1 output_list
+    std::vector<char> ends_region;    ///< strand: region ends at block end
+    std::vector<char> traversed;      ///< TRAVERSE already ran
+    std::vector<Itv> ivs;
+    std::deque<BlockId> work;
+
+    void
+    run()
+    {
+        grow();
+        newInterval(k.entry());
+        work.push_back(k.entry());
+        while (!work.empty()) {
+            BlockId b = work.front();
+            work.pop_front();
+            IntervalId i = itv[b];
+            if (!traversed[b])
+                traverse(b);
+            extend(i);
+            // All unassigned successors of the finished interval
+            // become headers of new intervals (Algorithm 1, 18-24).
+            for (size_t mi = 0; mi < ivs[i].members.size(); mi++) {
+                for (BlockId s : k.block(ivs[i].members[mi]).succs) {
+                    if (itv[s] == UNKNOWN_INTERVAL) {
+                        newInterval(s);
+                        work.push_back(s);
+                    }
+                }
+            }
+        }
+    }
+
+  private:
+    void
+    grow()
+    {
+        size_t n = k.blocks.size();
+        itv.resize(n, UNKNOWN_INTERVAL);
+        input.resize(n);
+        output.resize(n);
+        ends_region.resize(n, 0);
+        traversed.resize(n, 0);
+    }
+
+    IntervalId
+    newInterval(BlockId header)
+    {
+        IntervalId id = static_cast<IntervalId>(ivs.size());
+        itv[header] = id;
+        ivs.push_back(Itv{header, {header}, RegBitVec{}});
+        return id;
+    }
+
+    /**
+     * Algorithm 1's TRAVERSE: walk the block accumulating its
+     * register list; split when the interval working set would
+     * overflow N, and (for strands) after long-latency operations.
+     */
+    void
+    traverse(BlockId b)
+    {
+        traversed[b] = 1;
+        IntervalId i = itv[b];
+        RegBitVec regs = input[b];
+        size_t idx = 0;
+        while (idx < k.block(b).instrs.size()) {
+            const Instruction &in = k.block(b).instrs[idx];
+            RegBitVec next = regs;
+            in.collectRegs(next);
+            if ((ivs[i].ws | next).count() > opt.max_regs) {
+                if (idx == 0) {
+                    // The very first instruction overflows the
+                    // interval this block just joined: undo the join
+                    // and re-home the whole block as a new interval
+                    // header (its own working set always fits).
+                    ltrf_assert(ivs[i].members.back() == b &&
+                                ivs[i].header != b,
+                                "header block %d overflows empty "
+                                "interval", b);
+                    ivs[i].members.pop_back();
+                    newInterval(b);
+                    input[b].reset();
+                    // Queue it so its own interval gets extended and
+                    // its successors scanned by the main loop.
+                    work.push_back(b);
+                    traverse(b);
+                    return;
+                }
+                // Overflow mid-block: the remainder starts a new
+                // interval (Algorithm 1, lines 30-37).
+                BlockId nb = splitBlock(k, b, idx);
+                grow();
+                newInterval(nb);
+                work.push_back(nb);
+                break;
+            }
+            regs = std::move(next);
+            if (opt.split_at_long_latency && isGlobalMem(in.op)) {
+                // Strand semantics: the region ends after a
+                // long/variable-latency operation.
+                if (idx + 1 < k.block(b).instrs.size()) {
+                    BlockId nb = splitBlock(k, b, idx + 1);
+                    grow();
+                    newInterval(nb);
+                    work.push_back(nb);
+                }
+                ends_region[b] = 1;
+                break;
+            }
+            idx++;
+        }
+        if (opt.split_at_long_latency &&
+            k.block(b).branch.kind == BranchProfile::Kind::LOOP) {
+            // Strands end at backward branches.
+            ends_region[b] = 1;
+        }
+        output[b] = regs;
+        ivs[i].ws |= regs;
+    }
+
+    /** @return true if all predecessors of @p h belong to interval i. */
+    bool
+    allPredsIn(BlockId h, IntervalId i) const
+    {
+        for (BlockId p : k.block(h).preds)
+            if (itv[p] != i)
+                return false;
+        return !k.block(h).preds.empty();
+    }
+
+    /** Greedy extension loop of Algorithm 1 (lines 13-17). */
+    void
+    extend(IntervalId i)
+    {
+        bool added = true;
+        while (added) {
+            added = false;
+            for (size_t mi = 0; mi < ivs[i].members.size() && !added;
+                 mi++) {
+                for (BlockId h : k.block(ivs[i].members[mi]).succs) {
+                    if (itv[h] != UNKNOWN_INTERVAL || !allPredsIn(h, i))
+                        continue;
+                    // Strand barrier: no joining across a region end.
+                    bool barred = false;
+                    RegBitVec in_list;
+                    for (BlockId p : k.block(h).preds) {
+                        if (ends_region[p])
+                            barred = true;
+                        in_list |= output[p];
+                    }
+                    if (barred)
+                        continue;
+                    if ((ivs[i].ws | in_list).count() > opt.max_regs)
+                        continue;
+                    itv[h] = i;
+                    ivs[i].members.push_back(h);
+                    input[h] = in_list;
+                    traverse(h);
+                    added = true;
+                    break;
+                }
+            }
+        }
+    }
+};
+
+/** Result of one Algorithm 2 round. */
+struct Pass2Result
+{
+    /** Old interval id -> group id; empty if nothing merged. */
+    std::vector<int> group;
+    /** Group id -> seed interval (the group's single entry). */
+    std::vector<int> seed;
+};
+
+/** One round of Algorithm 2 on the interval graph. */
+Pass2Result
+pass2Round(const Kernel &k, const std::vector<IntervalId> &block_itv,
+           const std::vector<RegisterInterval> &ivs, int max_regs)
+{
+    const int n = static_cast<int>(ivs.size());
+
+    // Build the deduplicated interval graph.
+    std::vector<std::vector<int>> preds(n), succs(n);
+    for (const auto &bb : k.blocks) {
+        int iu = block_itv[bb.id];
+        for (BlockId s : bb.succs) {
+            int iv = block_itv[s];
+            if (iu == iv)
+                continue;
+            if (std::find(succs[iu].begin(), succs[iu].end(), iv) ==
+                succs[iu].end()) {
+                succs[iu].push_back(iv);
+                preds[iv].push_back(iu);
+            }
+        }
+    }
+
+    std::vector<int> group(n, -1);
+    std::vector<int> seeds;
+    std::vector<RegBitVec> gws;
+    std::vector<std::vector<int>> gmembers;
+    std::deque<int> work;
+
+    auto new_group = [&](int seed) {
+        group[seed] = static_cast<int>(gws.size());
+        seeds.push_back(seed);
+        gws.push_back(ivs[seed].working_set);
+        gmembers.push_back({seed});
+        return group[seed];
+    };
+
+    new_group(block_itv[k.entry()]);
+    work.push_back(block_itv[k.entry()]);
+    bool merged_any = false;
+
+    while (!work.empty()) {
+        int seed = work.front();
+        work.pop_front();
+        int g = group[seed];
+        // Greedy merge (Algorithm 2, lines 12-15).
+        bool added = true;
+        while (added) {
+            added = false;
+            for (size_t mi = 0; mi < gmembers[g].size() && !added; mi++) {
+                for (int h : succs[gmembers[g][mi]]) {
+                    if (group[h] != -1)
+                        continue;
+                    bool all_in = !preds[h].empty();
+                    for (int p : preds[h])
+                        if (group[p] != g)
+                            all_in = false;
+                    if (!all_in)
+                        continue;
+                    if ((gws[g] | ivs[h].working_set).count() > max_regs)
+                        continue;
+                    group[h] = g;
+                    gws[g] |= ivs[h].working_set;
+                    gmembers[g].push_back(h);
+                    merged_any = true;
+                    added = true;
+                    break;
+                }
+            }
+        }
+        for (int m : gmembers[g]) {
+            for (int s : succs[m]) {
+                if (group[s] == -1) {
+                    new_group(s);
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+
+    if (!merged_any)
+        return {};
+    return {std::move(group), std::move(seeds)};
+}
+
+} // namespace
+
+void
+IntervalAnalysis::validate(int max_regs) const
+{
+    kernel.validate();
+    ltrf_assert(block_interval.size() == kernel.blocks.size(),
+                "interval map size mismatch");
+    for (const auto &bb : kernel.blocks) {
+        IntervalId i = block_interval[bb.id];
+        ltrf_assert(i >= 0 && i < static_cast<int>(intervals.size()),
+                    "block %d unassigned", bb.id);
+        // Single entry point: edges from other intervals must target
+        // the header.
+        for (BlockId s : bb.succs) {
+            IntervalId si = block_interval[s];
+            if (si != i) {
+                ltrf_assert(s == intervals[si].header,
+                            "edge %d->%d enters interval %d at non-header",
+                            bb.id, s, si);
+            }
+        }
+    }
+    for (const auto &iv : intervals) {
+        ltrf_assert(iv.working_set.count() <= max_regs,
+                    "interval %d working set %d exceeds %d", iv.id,
+                    iv.working_set.count(), max_regs);
+        ltrf_assert(block_interval[iv.header] == iv.id,
+                    "interval %d header not a member", iv.id);
+        // The working set must cover every register its blocks touch.
+        RegBitVec used;
+        for (BlockId b : iv.blocks)
+            used |= kernel.block(b).usedRegs();
+        ltrf_assert(iv.working_set.contains(used),
+                    "interval %d working set misses used registers",
+                    iv.id);
+    }
+}
+
+IntervalAnalysis
+formRegisterIntervals(const Kernel &kernel, const FormationOptions &opt)
+{
+    ltrf_assert(opt.max_regs >= 4,
+                "max_regs %d too small for 4-operand instructions",
+                opt.max_regs);
+
+    Pass1 p1(kernel, opt);
+    p1.run();
+
+    IntervalAnalysis out;
+    out.kernel = std::move(p1.k);
+    out.block_interval.assign(out.kernel.blocks.size(), UNKNOWN_INTERVAL);
+
+    for (size_t i = 0; i < p1.ivs.size(); i++) {
+        RegisterInterval iv;
+        iv.id = static_cast<IntervalId>(i);
+        iv.header = p1.ivs[i].header;
+        iv.blocks = p1.ivs[i].members;
+        iv.working_set = p1.ivs[i].ws;
+        for (BlockId b : iv.blocks)
+            out.block_interval[b] = iv.id;
+        out.intervals.push_back(std::move(iv));
+    }
+    out.intervals_after_pass1 = static_cast<int>(out.intervals.size());
+
+    if (opt.enable_pass2) {
+        // Repeat Algorithm 2 until no further reduction (section 3.3).
+        while (true) {
+            Pass2Result round = pass2Round(
+                    out.kernel, out.block_interval, out.intervals,
+                    opt.max_regs);
+            if (round.group.empty())
+                break;
+            out.pass2_rounds++;
+
+            // The group's header is the seed interval's header: a
+            // member only joins when all its predecessors are already
+            // inside, so every external edge enters through the seed.
+            std::vector<RegisterInterval> merged(round.seed.size());
+            for (size_t g = 0; g < round.seed.size(); g++) {
+                merged[g].id = static_cast<IntervalId>(g);
+                merged[g].header = out.intervals[round.seed[g]].header;
+            }
+            for (size_t oi = 0; oi < out.intervals.size(); oi++) {
+                RegisterInterval &m = merged[round.group[oi]];
+                const RegisterInterval &o = out.intervals[oi];
+                m.working_set |= o.working_set;
+                m.blocks.insert(m.blocks.end(), o.blocks.begin(),
+                                o.blocks.end());
+            }
+            out.intervals = std::move(merged);
+            for (auto &iv : out.intervals)
+                for (BlockId b : iv.blocks)
+                    out.block_interval[b] = iv.id;
+        }
+    }
+
+    out.validate(opt.max_regs);
+    return out;
+}
+
+IntervalAnalysis
+formStrands(const Kernel &kernel, int max_regs)
+{
+    FormationOptions opt;
+    opt.max_regs = max_regs;
+    opt.split_at_long_latency = true;
+    opt.enable_pass2 = false;
+    return formRegisterIntervals(kernel, opt);
+}
+
+} // namespace ltrf

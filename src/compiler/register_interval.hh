@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Register-interval formation (paper Algorithms 1 and 2) and the
+ * strand-based variant used by the SHRF / LTRF(strand) baselines
+ * (section 6.6).
+ *
+ * A register-interval is a CFG subgraph with (1) a single control
+ * flow entry point and (2) a register working set of at most N
+ * registers, where N is the size of one warp's partition in the
+ * register file cache. Pass 1 grows intervals block by block,
+ * splitting any basic block whose own traversal overflows N. Pass 2
+ * merges intervals when one is reachable only from the other and the
+ * merged working set still fits; it repeats until no reduction is
+ * possible, which is what lets whole loop nests collapse into a
+ * single interval (paper Figure 6).
+ *
+ * Strands [20] differ in two ways: formation additionally terminates
+ * at long/variable-latency operations (global memory accesses) and at
+ * backward branches, and no merging pass runs. Both are expressed
+ * here through FormationOptions.
+ */
+
+#ifndef LTRF_COMPILER_REGISTER_INTERVAL_HH
+#define LTRF_COMPILER_REGISTER_INTERVAL_HH
+
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "isa/kernel.hh"
+
+namespace ltrf
+{
+
+/** Knobs selecting between register-intervals and strands. */
+struct FormationOptions
+{
+    /** Max registers per interval (cache partition size, Table 3: 16). */
+    int max_regs = 16;
+    /** Terminate regions after global memory operations (strands). */
+    bool split_at_long_latency = false;
+    /** Run the merging pass (Algorithm 2); off for strands. */
+    bool enable_pass2 = true;
+};
+
+/** One formed register-interval (or strand). */
+struct RegisterInterval
+{
+    IntervalId id = UNKNOWN_INTERVAL;
+    /** The single control-flow entry block. */
+    BlockId header = INVALID_BLOCK;
+    /** Member blocks (ids in the transformed kernel). */
+    std::vector<BlockId> blocks;
+    /** Register working set; size() <= max_regs. */
+    RegBitVec working_set;
+};
+
+/**
+ * Formation result. Because pass 1 can split basic blocks (paper
+ * Algorithm 1 lines 30-37), the result carries its own transformed
+ * copy of the kernel; block ids in the intervals refer to it.
+ */
+struct IntervalAnalysis
+{
+    Kernel kernel;
+    std::vector<RegisterInterval> intervals;
+    /** block id -> interval id (every block is assigned). */
+    std::vector<IntervalId> block_interval;
+    /** Number of Algorithm 2 rounds that achieved a reduction. */
+    int pass2_rounds = 0;
+    /** Interval count after pass 1, before any merging. */
+    int intervals_after_pass1 = 0;
+
+    const RegisterInterval &
+    intervalOf(BlockId b) const
+    {
+        return intervals[block_interval[b]];
+    }
+
+    /**
+     * Check the two register-interval invariants on the result:
+     * every working set fits in max_regs, and no edge from outside an
+     * interval targets a non-header member. Panics on violation.
+     */
+    void validate(int max_regs) const;
+};
+
+/** Run pass 1 (and pass 2 when enabled) on a copy of @p kernel. */
+IntervalAnalysis formRegisterIntervals(const Kernel &kernel,
+                                       const FormationOptions &opt);
+
+/** Strand formation: split at long-latency ops, no merging pass. */
+IntervalAnalysis formStrands(const Kernel &kernel, int max_regs);
+
+} // namespace ltrf
+
+#endif // LTRF_COMPILER_REGISTER_INTERVAL_HH

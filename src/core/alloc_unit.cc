@@ -1,0 +1,51 @@
+#include "core/alloc_unit.hh"
+
+#include "common/log.hh"
+
+namespace ltrf
+{
+
+AllocUnit::AllocUnit(int n) : allocated(static_cast<size_t>(n), 0)
+{
+    ltrf_assert(n >= 1, "allocation unit needs at least one entry");
+    for (int i = 0; i < n; i++)
+        unused.push_back(i);
+}
+
+int
+AllocUnit::allocate()
+{
+    ltrf_assert(!unused.empty(), "allocation unit exhausted");
+    int id = unused.front();
+    unused.pop_front();
+    allocated[id] = 1;
+    return id;
+}
+
+void
+AllocUnit::release(int id)
+{
+    ltrf_assert(id >= 0 && id < capacity(), "release of bad id %d", id);
+    ltrf_assert(allocated[id], "double release of id %d", id);
+    allocated[id] = 0;
+    unused.push_back(id);
+}
+
+bool
+AllocUnit::isAllocated(int id) const
+{
+    ltrf_assert(id >= 0 && id < capacity(), "query of bad id %d", id);
+    return allocated[id];
+}
+
+void
+AllocUnit::reset()
+{
+    unused.clear();
+    for (size_t i = 0; i < allocated.size(); i++) {
+        allocated[i] = 0;
+        unused.push_back(static_cast<int>(i));
+    }
+}
+
+} // namespace ltrf

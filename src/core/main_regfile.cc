@@ -1,0 +1,32 @@
+#include "core/main_regfile.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ltrf
+{
+
+MainRegFile::MainRegFile(int num_banks, int latency)
+    : banks(static_cast<size_t>(num_banks), 0), access_latency(latency),
+      stat_group("mrf")
+{
+    ltrf_assert(num_banks >= 1, "need at least one MRF bank");
+    ltrf_assert(latency >= 1, "MRF latency must be >= 1 cycle");
+    stat_group.add("accesses", &stat_accesses);
+    stat_group.add("conflict_cycles", &stat_conflicts);
+}
+
+Cycle
+MainRegFile::access(WarpId w, RegId r, Cycle now)
+{
+    Cycle &busy = banks[bankOf(w, r)];
+    Cycle start = std::max(now, busy);
+    if (start > now)
+        stat_conflicts += start - now;
+    busy = start + 1;   // pipelined: one new access per cycle
+    stat_accesses++;
+    return start + access_latency;
+}
+
+} // namespace ltrf

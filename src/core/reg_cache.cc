@@ -1,0 +1,33 @@
+#include "core/reg_cache.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ltrf
+{
+
+RegCache::RegCache(int num_banks, int latency)
+    : banks(static_cast<size_t>(num_banks), 0), access_latency(latency),
+      stat_group("regcache")
+{
+    ltrf_assert(num_banks >= 1, "need at least one cache bank");
+    ltrf_assert(latency >= 1, "cache latency must be >= 1 cycle");
+    stat_group.add("accesses", &stat_accesses);
+    stat_group.add("conflict_cycles", &stat_conflicts);
+}
+
+Cycle
+RegCache::access(int bank, Cycle now)
+{
+    ltrf_assert(bank >= 0 && bank < numBanks(), "bad cache bank %d", bank);
+    Cycle &busy = banks[bank];
+    Cycle start = std::max(now, busy);
+    if (start > now)
+        stat_conflicts += start - now;
+    busy = start + 1;   // pipelined: one-cycle bank occupancy
+    stat_accesses++;
+    return start + access_latency;
+}
+
+} // namespace ltrf

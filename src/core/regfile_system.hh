@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Register file system designs (paper section 5, "Comparison
+ * Points"): the common interface the SM pipeline drives, a factory,
+ * and the per-design activity statistics the power model consumes.
+ *
+ * Designs:
+ *  - BL: conventional non-cached register file; every operand read
+ *    and result write accesses the banked main register file.
+ *  - Ideal: BL with the baseline access latency regardless of the
+ *    configured latency multiplier (any capacity, no latency cost).
+ *  - RFC: hardware register file cache in the spirit of Gebhart et
+ *    al. [19]: demand-filled, shared among resident warps, so warps
+ *    displace each other's registers (the thrashing the paper
+ *    diagnoses in section 2.3).
+ *  - SHRF: software-managed hierarchy [20]: the compiler allocates
+ *    strand-local temporaries to the cache; long-lived registers
+ *    keep reading the main register file.
+ *  - LTRF / LTRF(strand): software PREFETCH of the region working
+ *    set at region entry; all in-region accesses hit the cache.
+ *  - LTRF+: LTRF plus the liveness bit-vector: dead registers are
+ *    neither written back nor refetched.
+ */
+
+#ifndef LTRF_CORE_REGFILE_SYSTEM_HH
+#define LTRF_CORE_REGFILE_SYSTEM_HH
+
+#include <memory>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/compile.hh"
+#include "tech/energy_model.hh"
+
+namespace ltrf
+{
+
+/** Event counters shared by all designs; inputs to rfPower(). */
+struct RfStats
+{
+    Counter main_accesses;      ///< MRF bank accesses (all causes)
+    Counter cache_accesses;     ///< register cache bank accesses
+    Counter cache_hits;         ///< RFC/SHRF: reads served by cache
+    Counter cache_misses;       ///< RFC/SHRF: reads that went to MRF
+    Counter wcb_accesses;       ///< WCB lookups
+    Counter xfer_regs;          ///< regs moved MRF<->cache
+    Counter prefetch_ops;       ///< triggered PREFETCH operations
+    Counter writeback_regs;     ///< regs written back to the MRF
+    Counter prefetch_stall_cycles; ///< warp-cycles blocked on prefetch
+
+    /** Register cache read hit rate (Figure 4). */
+    double
+    hitRate() const
+    {
+        std::uint64_t t = cache_hits.value() + cache_misses.value();
+        return t == 0 ? 0.0
+                      : static_cast<double>(cache_hits.value()) /
+                                static_cast<double>(t);
+    }
+
+    /** Activity rates for the power model, given elapsed cycles. */
+    RfActivity
+    activity(Cycle cycles) const
+    {
+        RfActivity a;
+        double c = static_cast<double>(cycles ? cycles : 1);
+        a.main_accesses_per_cycle =
+                static_cast<double>(main_accesses.value()) / c;
+        a.cache_accesses_per_cycle =
+                static_cast<double>(cache_accesses.value()) / c;
+        a.wcb_accesses_per_cycle =
+                static_cast<double>(wcb_accesses.value()) / c;
+        a.xfer_regs_per_cycle =
+                static_cast<double>(xfer_regs.value()) / c;
+        return a;
+    }
+};
+
+/** Interface the SM pipeline drives; one instance per SM. */
+class RegFileSystem
+{
+  public:
+    RegFileSystem(const SimConfig &cfg, const CompiledWorkload &cw)
+        : config(cfg), compiled(cw)
+    {}
+
+    virtual ~RegFileSystem() = default;
+
+    /**
+     * Collect all source operands of @p in for warp @p w starting at
+     * @p now. Models WCB lookups, cache/MRF bank contention, and the
+     * operand crossbar. @return the cycle all operands are ready.
+     */
+    virtual Cycle readOperands(WarpId w, const Instruction &in,
+                               Cycle now) = 0;
+
+    /**
+     * Write @p in's destination register at cycle @p when.
+     * @p warp_active is false when a load completes after its warp
+     * was deactivated; the result then goes to the main register
+     * file, where the inactive warp's live state resides.
+     */
+    virtual void writeResult(WarpId w, const Instruction &in, Cycle when,
+                             bool warp_active) = 0;
+
+    /**
+     * Execute a PREFETCH operation in block @p bb. No-op (returns
+     * @p now) when the warp is already in the target region with all
+     * valid bits set. @return the cycle the warp may resume.
+     */
+    virtual Cycle
+    prefetch(WarpId w, BlockId bb, const Instruction &in, Cycle now)
+    {
+        (void)w;
+        (void)bb;
+        (void)in;
+        return now;
+    }
+
+    /**
+     * The two-level scheduler activated warp @p w. @return the cycle
+     * the warp may start issuing (after any register refetch).
+     */
+    virtual Cycle
+    activate(WarpId w, Cycle now)
+    {
+        (void)w;
+        return now;
+    }
+
+    /** The two-level scheduler deactivated warp @p w. */
+    virtual void
+    deactivate(WarpId w, Cycle now)
+    {
+        (void)w;
+        (void)now;
+    }
+
+    const RfStats &rfStats() const { return stats; }
+
+  protected:
+    const SimConfig &config;
+    const CompiledWorkload &compiled;
+    RfStats stats;
+};
+
+/**
+ * Build the register file system selected by @p cfg.design.
+ * @param resident_warps warps the occupancy model admits per SM.
+ */
+std::unique_ptr<RegFileSystem>
+makeRegFileSystem(const SimConfig &cfg, const CompiledWorkload &cw,
+                  int resident_warps);
+
+} // namespace ltrf
+
+#endif // LTRF_CORE_REGFILE_SYSTEM_HH

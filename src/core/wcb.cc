@@ -1,0 +1,14 @@
+#include "core/wcb.hh"
+
+// Wcb is header-only; this translation unit anchors the library and
+// statically checks the section 4.3 storage arithmetic.
+
+namespace ltrf
+{
+
+static_assert(Wcb::bitsPerWarp() == 256 * 5 + 3 + 256 + 256,
+              "WCB storage layout must match paper section 4.3");
+static_assert(64 * Wcb::bitsPerWarp() == 114880,
+              "64-warp WCB storage must equal the paper's 114880 bits");
+
+} // namespace ltrf

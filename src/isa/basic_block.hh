@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Basic blocks and control-flow edges.
+ */
+
+#ifndef LTRF_ISA_BASIC_BLOCK_HH
+#define LTRF_ISA_BASIC_BLOCK_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace ltrf
+{
+
+/**
+ * Dynamic behaviour of a block's terminating branch, used by the
+ * trace generator. This is workload metadata, not architectural
+ * state: a real GPU resolves branches from register values, which a
+ * timing-only simulator replaces with a declared branch profile.
+ */
+struct BranchProfile
+{
+    enum class Kind
+    {
+        NONE,   ///< unconditional fall-through / jump / exit
+        LOOP,   ///< back edge taken (trip_count - 1) times per entry
+        COND,   ///< taken (successor 0) with probability taken_prob
+    };
+
+    Kind kind = Kind::NONE;
+    int trip_count = 1;
+    double taken_prob = 0.5;
+    /** Per-warp trip count jitter: +-jitter, deterministic per warp. */
+    int trip_jitter = 0;
+};
+
+/**
+ * A basic block: a straight-line instruction sequence with a single
+ * entry (top) and a single exit (bottom).
+ *
+ * Successor convention: if the block ends in a conditional branch,
+ * succs[0] is the taken target and succs[1] the fall-through. Blocks
+ * with one successor fall through to succs[0].
+ */
+struct BasicBlock
+{
+    BlockId id = INVALID_BLOCK;
+    std::vector<Instruction> instrs;
+    std::vector<BlockId> succs;
+    std::vector<BlockId> preds;
+    BranchProfile branch;
+
+    /** Union of all registers referenced by the block's instructions. */
+    RegBitVec
+    usedRegs() const
+    {
+        RegBitVec v;
+        for (const auto &in : instrs)
+            in.collectRegs(v);
+        return v;
+    }
+
+    /** Number of non-PREFETCH instructions. */
+    int
+    realInstrCount() const
+    {
+        int n = 0;
+        for (const auto &in : instrs)
+            if (in.op != Opcode::PREFETCH)
+                n++;
+        return n;
+    }
+};
+
+} // namespace ltrf
+
+#endif // LTRF_ISA_BASIC_BLOCK_HH

@@ -1,0 +1,34 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+namespace ltrf
+{
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(op);
+    if (op == Opcode::PREFETCH) {
+        os << " " << prefetch_mask.toString();
+        return os.str();
+    }
+    bool first = true;
+    auto emit_reg = [&](RegId r, bool dead) {
+        os << (first ? " " : ", ") << "r" << static_cast<int>(r);
+        if (dead)
+            os << "!";
+        first = false;
+    };
+    if (dst != INVALID_REG)
+        emit_reg(dst, false);
+    for (int i = 0; i < 3; i++)
+        if (srcs[i] != INVALID_REG)
+            emit_reg(srcs[i], src_dead[i]);
+    if (isLoad(op) || isStore(op))
+        os << " [s" << mem_stream << "]";
+    return os.str();
+}
+
+} // namespace ltrf

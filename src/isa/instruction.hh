@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Static instruction representation.
+ */
+
+#ifndef LTRF_ISA_INSTRUCTION_HH
+#define LTRF_ISA_INSTRUCTION_HH
+
+#include <array>
+#include <string>
+
+#include "common/bitvec.hh"
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace ltrf
+{
+
+/**
+ * One static instruction.
+ *
+ * Up to three source registers and one destination register. The
+ * per-source dead bits are the "dead operand bits" of section 3.2:
+ * they are filled in by the liveness pass and consumed by LTRF+.
+ * PREFETCH instructions additionally carry the 256-bit register
+ * bit-vector naming the working set to load.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    RegId dst = INVALID_REG;
+    std::array<RegId, 3> srcs = {INVALID_REG, INVALID_REG, INVALID_REG};
+    /** Dead-operand bits: src i is dead after this instruction. */
+    std::array<bool, 3> src_dead = {false, false, false};
+    /** Memory stream id for LD/ST (indexes Kernel::mem_streams). */
+    std::int16_t mem_stream = 0;
+    /** PREFETCH working-set bit-vector (PREFETCH only). */
+    RegBitVec prefetch_mask;
+
+    /** @return the number of valid source operands. */
+    int
+    numSrcs() const
+    {
+        int n = 0;
+        for (RegId s : srcs)
+            if (s != INVALID_REG)
+                n++;
+        return n;
+    }
+
+    /** @return true if this instruction writes a register. */
+    bool hasDst() const { return dst != INVALID_REG; }
+
+    /** @return true if register @p r is read by this instruction. */
+    bool
+    reads(RegId r) const
+    {
+        for (RegId s : srcs)
+            if (s == r)
+                return true;
+        return false;
+    }
+
+    /** Union all registers referenced (sources and destination). */
+    void
+    collectRegs(RegBitVec &vec) const
+    {
+        for (RegId s : srcs)
+            if (s != INVALID_REG)
+                vec.set(s);
+        if (dst != INVALID_REG)
+            vec.set(dst);
+    }
+
+    /** Render as e.g. "FFMA r4, r1, r2, r3" for diagnostics. */
+    std::string toString() const;
+
+    // ----- Convenience constructors -----
+
+    static Instruction
+    alu(Opcode op, RegId dst, RegId a = INVALID_REG, RegId b = INVALID_REG,
+        RegId c = INVALID_REG)
+    {
+        Instruction i;
+        i.op = op;
+        i.dst = dst;
+        i.srcs = {a, b, c};
+        return i;
+    }
+
+    static Instruction
+    load(Opcode op, RegId dst, RegId addr, std::int16_t stream)
+    {
+        Instruction i;
+        i.op = op;
+        i.dst = dst;
+        i.srcs = {addr, INVALID_REG, INVALID_REG};
+        i.mem_stream = stream;
+        return i;
+    }
+
+    static Instruction
+    store(Opcode op, RegId value, RegId addr, std::int16_t stream)
+    {
+        Instruction i;
+        i.op = op;
+        i.srcs = {addr, value, INVALID_REG};
+        i.mem_stream = stream;
+        return i;
+    }
+
+    static Instruction
+    branch(RegId pred = INVALID_REG)
+    {
+        Instruction i;
+        i.op = Opcode::BRA;
+        i.srcs = {pred, INVALID_REG, INVALID_REG};
+        return i;
+    }
+
+    static Instruction
+    prefetch(const RegBitVec &mask)
+    {
+        Instruction i;
+        i.op = Opcode::PREFETCH;
+        i.prefetch_mask = mask;
+        return i;
+    }
+
+    static Instruction
+    exit()
+    {
+        Instruction i;
+        i.op = Opcode::EXIT;
+        return i;
+    }
+};
+
+} // namespace ltrf
+
+#endif // LTRF_ISA_INSTRUCTION_HH

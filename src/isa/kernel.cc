@@ -1,0 +1,124 @@
+#include "isa/kernel.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ltrf
+{
+
+int
+Kernel::staticInstrCount() const
+{
+    int n = 0;
+    for (const auto &bb : blocks)
+        n += bb.realInstrCount();
+    return n;
+}
+
+int
+Kernel::staticInstrCountWithPrefetch() const
+{
+    int n = 0;
+    for (const auto &bb : blocks)
+        n += static_cast<int>(bb.instrs.size());
+    return n;
+}
+
+RegBitVec
+Kernel::allRegs() const
+{
+    RegBitVec v;
+    for (const auto &bb : blocks)
+        v |= bb.usedRegs();
+    return v;
+}
+
+void
+Kernel::validate() const
+{
+    ltrf_assert(!blocks.empty(), "kernel '%s' has no blocks", name.c_str());
+    ltrf_assert(num_regs >= 1 && num_regs <= MAX_ARCH_REGS,
+                "kernel '%s': num_regs %d out of range", name.c_str(),
+                num_regs);
+    ltrf_assert(reg_demand >= num_regs,
+                "kernel '%s': reg_demand %d < num_regs %d", name.c_str(),
+                reg_demand, num_regs);
+
+    for (const auto &bb : blocks) {
+        ltrf_assert(bb.id >= 0 && bb.id < numBlocks(),
+                    "kernel '%s': bad block id %d", name.c_str(), bb.id);
+        ltrf_assert(&block(bb.id) == &bb,
+                    "kernel '%s': block id %d misplaced", name.c_str(),
+                    bb.id);
+        ltrf_assert(bb.succs.size() <= 2,
+                    "kernel '%s': block %d has %zu successors",
+                    name.c_str(), bb.id, bb.succs.size());
+
+        // Pred/succ symmetry.
+        for (BlockId s : bb.succs) {
+            ltrf_assert(s >= 0 && s < numBlocks(),
+                        "kernel '%s': block %d successor %d out of range",
+                        name.c_str(), bb.id, s);
+            const auto &sp = block(s).preds;
+            ltrf_assert(std::find(sp.begin(), sp.end(), bb.id) != sp.end(),
+                        "kernel '%s': edge %d->%d missing from preds",
+                        name.c_str(), bb.id, s);
+        }
+        for (BlockId p : bb.preds) {
+            ltrf_assert(p >= 0 && p < numBlocks(),
+                        "kernel '%s': block %d pred %d out of range",
+                        name.c_str(), bb.id, p);
+            const auto &ps = block(p).succs;
+            ltrf_assert(std::find(ps.begin(), ps.end(), bb.id) != ps.end(),
+                        "kernel '%s': edge %d->%d missing from succs",
+                        name.c_str(), p, bb.id);
+        }
+
+        // Control-flow instructions may appear only as terminators, and
+        // two-successor blocks must end with a branch.
+        for (size_t i = 0; i < bb.instrs.size(); i++) {
+            const auto &in = bb.instrs[i];
+            if (isControl(in.op)) {
+                ltrf_assert(i + 1 == bb.instrs.size(),
+                            "kernel '%s': control op mid-block %d",
+                            name.c_str(), bb.id);
+            }
+            if (isLoad(in.op) || isStore(in.op)) {
+                ltrf_assert(in.mem_stream >= 0 &&
+                            in.mem_stream <
+                                static_cast<int>(mem_streams.size()),
+                            "kernel '%s': block %d references memory "
+                            "stream %d of %zu", name.c_str(), bb.id,
+                            in.mem_stream, mem_streams.size());
+            }
+            for (RegId s : in.srcs) {
+                ltrf_assert(s == INVALID_REG || (s >= 0 && s < num_regs),
+                            "kernel '%s': source reg %d out of range",
+                            name.c_str(), s);
+            }
+            ltrf_assert(in.dst == INVALID_REG ||
+                        (in.dst >= 0 && in.dst < num_regs),
+                        "kernel '%s': dest reg %d out of range",
+                        name.c_str(), in.dst);
+        }
+        if (bb.succs.size() == 2) {
+            ltrf_assert(!bb.instrs.empty() &&
+                        bb.instrs.back().op == Opcode::BRA,
+                        "kernel '%s': two-successor block %d lacks BRA",
+                        name.c_str(), bb.id);
+        }
+        if (bb.succs.empty()) {
+            ltrf_assert(!bb.instrs.empty() &&
+                        bb.instrs.back().op == Opcode::EXIT,
+                        "kernel '%s': terminal block %d lacks EXIT",
+                        name.c_str(), bb.id);
+        }
+    }
+
+    // The entry block must not be a branch target (single entry CFG).
+    ltrf_assert(block(entry()).preds.empty(),
+                "kernel '%s': entry block has predecessors", name.c_str());
+}
+
+} // namespace ltrf

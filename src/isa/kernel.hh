@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Kernel: a named CFG of basic blocks plus workload metadata.
+ */
+
+#ifndef LTRF_ISA_KERNEL_HH
+#define LTRF_ISA_KERNEL_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/basic_block.hh"
+
+namespace ltrf
+{
+
+/**
+ * A global-memory address stream referenced by LD/ST instructions.
+ *
+ * Addresses are generated deterministically at simulation time as
+ *   line = base + warpOffset(warp) + (index % working_set_lines)
+ * scaled by stride, so cache behaviour (and hence L1 hit rates and
+ * DRAM pressure) emerges from real cache models rather than from a
+ * declared hit probability.
+ */
+struct MemStreamSpec
+{
+    /** Distance between consecutive accesses, in cache lines. */
+    int stride_lines = 1;
+    /** Lines touched before the stream wraps (per-warp working set). */
+    int working_set_lines = 1024;
+    /** If true, all warps share one address region (inter-warp reuse). */
+    bool shared_across_warps = false;
+};
+
+/**
+ * A kernel: entry block 0, a list of basic blocks, the number of
+ * architectural registers it uses, and workload metadata consumed by
+ * the occupancy model.
+ */
+struct Kernel
+{
+    std::string name;
+    std::vector<BasicBlock> blocks;
+    std::vector<MemStreamSpec> mem_streams;
+
+    /** Architectural registers used (max register id + 1). */
+    int num_regs = 0;
+
+    /**
+     * Registers per thread the compiler would allocate with no cap
+     * (Table 1's -maxregcount experiment); >= num_regs. Drives the
+     * TLP/occupancy model: resident warps are limited by
+     * mrf_capacity / regsPerWarp().
+     */
+    int reg_demand = 0;
+
+    BlockId entry() const { return 0; }
+
+    const BasicBlock &block(BlockId b) const { return blocks[b]; }
+    BasicBlock &block(BlockId b) { return blocks[b]; }
+
+    int numBlocks() const { return static_cast<int>(blocks.size()); }
+
+    /** Total static (non-PREFETCH) instruction count. */
+    int staticInstrCount() const;
+
+    /** Static instruction count including PREFETCH operations. */
+    int staticInstrCountWithPrefetch() const;
+
+    /** Union of registers referenced anywhere in the kernel. */
+    RegBitVec allRegs() const;
+
+    /**
+     * Check structural invariants: pred/succ symmetry, terminator
+     * placement, register ids within range. Calls panic() on
+     * violation (a malformed kernel is a builder bug).
+     */
+    void validate() const;
+};
+
+} // namespace ltrf
+
+#endif // LTRF_ISA_KERNEL_HH

@@ -1,0 +1,299 @@
+#include "isa/kernel_builder.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ltrf
+{
+
+KernelBuilder::KernelBuilder(std::string name)
+{
+    kernel.name = std::move(name);
+    BasicBlock entry;
+    entry.id = 0;
+    kernel.blocks.push_back(entry);
+    cur = 0;
+}
+
+BlockId
+KernelBuilder::newBlock()
+{
+    BasicBlock bb;
+    bb.id = static_cast<BlockId>(kernel.blocks.size());
+    kernel.blocks.push_back(bb);
+    return bb.id;
+}
+
+void
+KernelBuilder::fallTo(BlockId next)
+{
+    ltrf_assert(curBlock().succs.empty(),
+                "block %d already terminated", cur);
+    curBlock().succs.push_back(next);
+}
+
+KernelBuilder &
+KernelBuilder::emit(const Instruction &in)
+{
+    ltrf_assert(!built, "builder already consumed");
+    ltrf_assert(curBlock().succs.empty(),
+                "emitting into terminated block %d", cur);
+    ltrf_assert(in.dst == INVALID_REG ||
+                (in.dst >= 0 && in.dst < MAX_ARCH_REGS),
+                "destination register %d out of range", in.dst);
+    for (RegId s : in.srcs) {
+        ltrf_assert(s == INVALID_REG || (s >= 0 && s < MAX_ARCH_REGS),
+                    "source register %d out of range", s);
+    }
+    curBlock().instrs.push_back(in);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::iadd(int dst, int a, int b)
+{
+    return emit(Instruction::alu(Opcode::IADD, static_cast<RegId>(dst),
+                                 static_cast<RegId>(a),
+                                 static_cast<RegId>(b)));
+}
+
+KernelBuilder &
+KernelBuilder::imul(int dst, int a, int b)
+{
+    return emit(Instruction::alu(Opcode::IMUL, static_cast<RegId>(dst),
+                                 static_cast<RegId>(a),
+                                 static_cast<RegId>(b)));
+}
+
+KernelBuilder &
+KernelBuilder::fadd(int dst, int a, int b)
+{
+    return emit(Instruction::alu(Opcode::FADD, static_cast<RegId>(dst),
+                                 static_cast<RegId>(a),
+                                 static_cast<RegId>(b)));
+}
+
+KernelBuilder &
+KernelBuilder::fmul(int dst, int a, int b)
+{
+    return emit(Instruction::alu(Opcode::FMUL, static_cast<RegId>(dst),
+                                 static_cast<RegId>(a),
+                                 static_cast<RegId>(b)));
+}
+
+KernelBuilder &
+KernelBuilder::ffma(int dst, int a, int b, int c)
+{
+    return emit(Instruction::alu(Opcode::FFMA, static_cast<RegId>(dst),
+                                 static_cast<RegId>(a),
+                                 static_cast<RegId>(b),
+                                 static_cast<RegId>(c)));
+}
+
+KernelBuilder &
+KernelBuilder::mov(int dst, int src)
+{
+    return emit(Instruction::alu(Opcode::MOV, static_cast<RegId>(dst),
+                                 static_cast<RegId>(src)));
+}
+
+KernelBuilder &
+KernelBuilder::isetp(int dst, int a, int b)
+{
+    return emit(Instruction::alu(Opcode::ISETP, static_cast<RegId>(dst),
+                                 static_cast<RegId>(a),
+                                 static_cast<RegId>(b)));
+}
+
+KernelBuilder &
+KernelBuilder::sfu(int dst, int a)
+{
+    return emit(Instruction::alu(Opcode::SFU, static_cast<RegId>(dst),
+                                 static_cast<RegId>(a)));
+}
+
+KernelBuilder &
+KernelBuilder::load(int dst, int addr, int stream)
+{
+    return emit(Instruction::load(Opcode::LD_GLOBAL,
+                                  static_cast<RegId>(dst),
+                                  static_cast<RegId>(addr),
+                                  static_cast<std::int16_t>(stream)));
+}
+
+KernelBuilder &
+KernelBuilder::store(int value, int addr, int stream)
+{
+    return emit(Instruction::store(Opcode::ST_GLOBAL,
+                                   static_cast<RegId>(value),
+                                   static_cast<RegId>(addr),
+                                   static_cast<std::int16_t>(stream)));
+}
+
+KernelBuilder &
+KernelBuilder::sharedLoad(int dst, int addr)
+{
+    return emit(Instruction::load(Opcode::LD_SHARED,
+                                  static_cast<RegId>(dst),
+                                  static_cast<RegId>(addr), 0));
+}
+
+KernelBuilder &
+KernelBuilder::sharedStore(int value, int addr)
+{
+    return emit(Instruction::store(Opcode::ST_SHARED,
+                                   static_cast<RegId>(value),
+                                   static_cast<RegId>(addr), 0));
+}
+
+int
+KernelBuilder::stream(const MemStreamSpec &spec)
+{
+    ltrf_assert(spec.stride_lines >= 1 && spec.working_set_lines >= 1,
+                "invalid memory stream spec");
+    kernel.mem_streams.push_back(spec);
+    return static_cast<int>(kernel.mem_streams.size()) - 1;
+}
+
+KernelBuilder &
+KernelBuilder::beginLoop(int trip_count, int trip_jitter)
+{
+    ltrf_assert(trip_count >= 1, "loop trip count %d < 1", trip_count);
+    BlockId header = newBlock();
+    fallTo(header);
+    cur = header;
+    loop_stack.push_back({header, trip_count, trip_jitter});
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::endLoop()
+{
+    ltrf_assert(!loop_stack.empty(), "endLoop with no open loop");
+    LoopCtx ctx = loop_stack.back();
+    loop_stack.pop_back();
+
+    // The current block becomes the latch: a conditional branch whose
+    // taken target is the loop header and whose fall-through is the
+    // loop exit.
+    BlockId exit_block = newBlock();
+    curBlock().instrs.push_back(Instruction::branch());
+    ltrf_assert(curBlock().succs.empty(),
+                "latch block %d already terminated", cur);
+    curBlock().succs = {ctx.header, exit_block};
+    curBlock().branch.kind = BranchProfile::Kind::LOOP;
+    curBlock().branch.trip_count = ctx.trip_count;
+    curBlock().branch.trip_jitter = ctx.trip_jitter;
+    cur = exit_block;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::beginIf(double taken_prob, int pred_reg)
+{
+    ltrf_assert(taken_prob >= 0.0 && taken_prob <= 1.0,
+                "taken_prob %.2f out of [0,1]", taken_prob);
+    BlockId cond = cur;
+    BlockId then_entry = newBlock();
+    curBlock().instrs.push_back(
+            Instruction::branch(static_cast<RegId>(pred_reg)));
+    // succs[1] (the else/join fall-through) is patched later.
+    curBlock().succs = {then_entry, INVALID_BLOCK};
+    curBlock().branch.kind = BranchProfile::Kind::COND;
+    curBlock().branch.taken_prob = taken_prob;
+    if_stack.push_back({cond, INVALID_BLOCK, false});
+    cur = then_entry;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::beginElse()
+{
+    ltrf_assert(!if_stack.empty(), "beginElse with no open if");
+    IfCtx &ctx = if_stack.back();
+    ltrf_assert(!ctx.has_else, "duplicate beginElse");
+    ctx.has_else = true;
+    ctx.then_exit = cur;
+    BlockId else_entry = newBlock();
+    kernel.blocks[ctx.cond_block].succs[1] = else_entry;
+    cur = else_entry;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::endIf()
+{
+    ltrf_assert(!if_stack.empty(), "endIf with no open if");
+    IfCtx ctx = if_stack.back();
+    if_stack.pop_back();
+
+    BlockId join = newBlock();
+    if (ctx.has_else) {
+        // cur is the else-side exit; ctx.then_exit the then-side exit.
+        fallTo(join);
+        BasicBlock &te = kernel.blocks[ctx.then_exit];
+        ltrf_assert(te.succs.empty(), "then-exit already terminated");
+        te.succs.push_back(join);
+    } else {
+        // cur is the then-side exit; the cond falls through to join.
+        fallTo(join);
+        kernel.blocks[ctx.cond_block].succs[1] = join;
+    }
+    cur = join;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::regDemand(int regs)
+{
+    ltrf_assert(regs >= 1 && regs <= MAX_ARCH_REGS,
+                "reg demand %d out of range", regs);
+    kernel.reg_demand = regs;
+    return *this;
+}
+
+Kernel
+KernelBuilder::build()
+{
+    ltrf_assert(!built, "builder already consumed");
+    ltrf_assert(loop_stack.empty(), "unclosed loop at build()");
+    ltrf_assert(if_stack.empty(), "unclosed if at build()");
+    built = true;
+
+    if (curBlock().succs.empty() &&
+        (curBlock().instrs.empty() ||
+         curBlock().instrs.back().op != Opcode::EXIT)) {
+        curBlock().instrs.push_back(Instruction::exit());
+    }
+
+    // Default memory stream so stray stream id 0 never dangles.
+    if (kernel.mem_streams.empty())
+        kernel.mem_streams.push_back(MemStreamSpec{});
+
+    // Compute num_regs.
+    RegBitVec all = kernel.allRegs();
+    int max_reg = -1;
+    all.forEach([&](RegId r) { max_reg = std::max<int>(max_reg, r); });
+    kernel.num_regs = max_reg + 1;
+    if (kernel.num_regs == 0)
+        kernel.num_regs = 1;
+    if (kernel.reg_demand < kernel.num_regs)
+        kernel.reg_demand = kernel.num_regs;
+
+    // Wire predecessor lists from successor lists.
+    for (auto &bb : kernel.blocks)
+        bb.preds.clear();
+    for (const auto &bb : kernel.blocks) {
+        for (BlockId s : bb.succs) {
+            ltrf_assert(s != INVALID_BLOCK,
+                        "unpatched successor in block %d", bb.id);
+            kernel.blocks[s].preds.push_back(bb.id);
+        }
+    }
+
+    kernel.validate();
+    return std::move(kernel);
+}
+
+} // namespace ltrf

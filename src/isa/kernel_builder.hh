@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Structured-control-flow DSL for constructing kernels.
+ *
+ * The builder produces reducible CFGs (natural loops, if/else
+ * diamonds), matching the paper's assumption that "compiler
+ * infrastructures only produce reducible CFGs" (section 3.3).
+ *
+ * Example:
+ * @code
+ *   KernelBuilder b("example");
+ *   b.mov(0).mov(1);
+ *   b.beginLoop(16);
+ *       b.ffma(2, 0, 1, 2);
+ *   b.endLoop();
+ *   Kernel k = b.build();
+ * @endcode
+ */
+
+#ifndef LTRF_ISA_KERNEL_BUILDER_HH
+#define LTRF_ISA_KERNEL_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/kernel.hh"
+
+namespace ltrf
+{
+
+/** Incrementally builds a Kernel with structured control flow. */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name);
+
+    // ----- Instruction emitters (append to the current block) -----
+
+    KernelBuilder &emit(const Instruction &in);
+
+    KernelBuilder &iadd(int dst, int a, int b);
+    KernelBuilder &imul(int dst, int a, int b);
+    KernelBuilder &fadd(int dst, int a, int b);
+    KernelBuilder &fmul(int dst, int a, int b);
+    KernelBuilder &ffma(int dst, int a, int b, int c);
+    KernelBuilder &mov(int dst, int src = INVALID_REG);
+    KernelBuilder &isetp(int dst, int a, int b);
+    KernelBuilder &sfu(int dst, int a);
+    KernelBuilder &load(int dst, int addr, int stream);
+    KernelBuilder &store(int value, int addr, int stream);
+    KernelBuilder &sharedLoad(int dst, int addr);
+    KernelBuilder &sharedStore(int value, int addr);
+
+    // ----- Memory streams -----
+
+    /** Declare an address stream; @return its id for load()/store(). */
+    int stream(const MemStreamSpec &spec);
+
+    // ----- Structured control flow -----
+
+    /**
+     * Open a natural loop executing @p trip_count iterations per
+     * entry (per warp, jittered by +-@p trip_jitter deterministically).
+     * Instructions emitted until the matching endLoop() form the body.
+     */
+    KernelBuilder &beginLoop(int trip_count, int trip_jitter = 0);
+
+    /** Close the innermost open loop. */
+    KernelBuilder &endLoop();
+
+    /**
+     * Open an if whose then-side executes with probability
+     * @p taken_prob; @p pred_reg is the predicate source register.
+     */
+    KernelBuilder &beginIf(double taken_prob, int pred_reg = INVALID_REG);
+
+    /** Switch from the then-side to the else-side. */
+    KernelBuilder &beginElse();
+
+    /** Close the innermost open if. */
+    KernelBuilder &endIf();
+
+    // ----- Metadata -----
+
+    /** Set the uncapped per-thread register demand (Table 1 model). */
+    KernelBuilder &regDemand(int regs);
+
+    /** Finalize: terminate, wire predecessors, validate, and return. */
+    Kernel build();
+
+    /** @return the id of the block currently being appended to. */
+    BlockId currentBlock() const { return cur; }
+
+  private:
+    struct LoopCtx
+    {
+        BlockId header;
+        int trip_count;
+        int trip_jitter;
+    };
+
+    struct IfCtx
+    {
+        BlockId cond_block;
+        BlockId then_exit = INVALID_BLOCK;
+        bool has_else = false;
+    };
+
+    /** Create a fresh block and return its id. */
+    BlockId newBlock();
+
+    /** End the current block with a fall-through edge to @p next. */
+    void fallTo(BlockId next);
+
+    BasicBlock &curBlock() { return kernel.blocks[cur]; }
+
+    Kernel kernel;
+    BlockId cur;
+    std::vector<LoopCtx> loop_stack;
+    std::vector<IfCtx> if_stack;
+    bool built = false;
+};
+
+} // namespace ltrf
+
+#endif // LTRF_ISA_KERNEL_BUILDER_HH

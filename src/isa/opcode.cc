@@ -1,0 +1,31 @@
+#include "isa/opcode.hh"
+
+namespace ltrf
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::IADD:      return "IADD";
+      case Opcode::IMUL:      return "IMUL";
+      case Opcode::ISETP:     return "ISETP";
+      case Opcode::FADD:      return "FADD";
+      case Opcode::FMUL:      return "FMUL";
+      case Opcode::FFMA:      return "FFMA";
+      case Opcode::MOV:       return "MOV";
+      case Opcode::SFU:       return "SFU";
+      case Opcode::LD_GLOBAL: return "LD.G";
+      case Opcode::ST_GLOBAL: return "ST.G";
+      case Opcode::LD_SHARED: return "LD.S";
+      case Opcode::ST_SHARED: return "ST.S";
+      case Opcode::BRA:       return "BRA";
+      case Opcode::EXIT:      return "EXIT";
+      case Opcode::BAR:       return "BAR";
+      case Opcode::PREFETCH:  return "PREFETCH";
+      case Opcode::NOP:       return "NOP";
+    }
+    return "?";
+}
+
+} // namespace ltrf

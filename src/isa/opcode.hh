@@ -1,0 +1,145 @@
+/**
+ * @file
+ * PTX-like opcodes and their static properties.
+ *
+ * The simulator is timing-only, so opcodes exist to classify
+ * instructions into functional-unit classes with representative
+ * execution latencies, and to mark control-flow and memory behaviour.
+ */
+
+#ifndef LTRF_ISA_OPCODE_HH
+#define LTRF_ISA_OPCODE_HH
+
+namespace ltrf
+{
+
+/** Instruction opcodes. */
+enum class Opcode
+{
+    // Integer / single-precision ALU (fully pipelined).
+    IADD,
+    IMUL,
+    ISETP,      ///< predicate-setting compare
+    FADD,
+    FMUL,
+    FFMA,
+    MOV,
+    // Special function unit (transcendentals; long, unpipelined-ish).
+    SFU,
+    // Memory.
+    LD_GLOBAL,
+    ST_GLOBAL,
+    LD_SHARED,
+    ST_SHARED,
+    // Control.
+    BRA,        ///< conditional/unconditional branch (block terminator)
+    EXIT,       ///< kernel end
+    BAR,        ///< barrier (modeled as a long ALU-class stall)
+    // LTRF software support.
+    PREFETCH,   ///< carries a 256-bit register bit-vector
+    NOP,
+};
+
+/** Broad functional-unit classes used by the timing model. */
+enum class UnitClass
+{
+    ALU,
+    SFU,
+    MEM_GLOBAL,
+    MEM_SHARED,
+    CTRL,
+    PREFETCH,
+};
+
+/** @return the functional-unit class of @p op. */
+constexpr UnitClass
+unitClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::IADD:
+      case Opcode::IMUL:
+      case Opcode::ISETP:
+      case Opcode::FADD:
+      case Opcode::FMUL:
+      case Opcode::FFMA:
+      case Opcode::MOV:
+      case Opcode::NOP:
+        return UnitClass::ALU;
+      case Opcode::SFU:
+        return UnitClass::SFU;
+      case Opcode::LD_GLOBAL:
+      case Opcode::ST_GLOBAL:
+        return UnitClass::MEM_GLOBAL;
+      case Opcode::LD_SHARED:
+      case Opcode::ST_SHARED:
+        return UnitClass::MEM_SHARED;
+      case Opcode::BRA:
+      case Opcode::EXIT:
+      case Opcode::BAR:
+        return UnitClass::CTRL;
+      case Opcode::PREFETCH:
+        return UnitClass::PREFETCH;
+    }
+    return UnitClass::ALU;
+}
+
+/**
+ * Execution latency in core cycles from operand readiness to result
+ * write-back, excluding register file access time (which the register
+ * file system models) and excluding memory time for global accesses
+ * (which the memory hierarchy models).
+ */
+constexpr int
+execLatency(Opcode op)
+{
+    switch (unitClass(op)) {
+      case UnitClass::ALU:
+        return 6;
+      case UnitClass::SFU:
+        return 20;
+      case UnitClass::MEM_SHARED:
+        return 24;
+      case UnitClass::MEM_GLOBAL:
+        return 1;   // address generation; memory time added separately
+      case UnitClass::CTRL:
+        return 4;
+      case UnitClass::PREFETCH:
+        return 1;
+    }
+    return 1;
+}
+
+/** @return true for LD/ST to the global memory space. */
+constexpr bool
+isGlobalMem(Opcode op)
+{
+    return unitClass(op) == UnitClass::MEM_GLOBAL;
+}
+
+/** @return true for any load (defines a register from memory). */
+constexpr bool
+isLoad(Opcode op)
+{
+    return op == Opcode::LD_GLOBAL || op == Opcode::LD_SHARED;
+}
+
+/** @return true for any store. */
+constexpr bool
+isStore(Opcode op)
+{
+    return op == Opcode::ST_GLOBAL || op == Opcode::ST_SHARED;
+}
+
+/** @return true for block-terminating control flow. */
+constexpr bool
+isControl(Opcode op)
+{
+    return op == Opcode::BRA || op == Opcode::EXIT;
+}
+
+/** @return a printable mnemonic. */
+const char *opcodeName(Opcode op);
+
+} // namespace ltrf
+
+#endif // LTRF_ISA_OPCODE_HH

@@ -1,0 +1,91 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace ltrf
+{
+
+Cache::Cache(const std::string &name, std::size_t size_bytes, int assoc_,
+             int line_bytes)
+    : assoc(assoc_), stat_group(name)
+{
+    ltrf_assert(assoc >= 1, "associativity must be >= 1");
+    ltrf_assert(line_bytes >= 1, "line size must be >= 1");
+    std::size_t lines = size_bytes / static_cast<std::size_t>(line_bytes);
+    ltrf_assert(lines >= static_cast<std::size_t>(assoc),
+                "cache smaller than one set");
+    num_sets = static_cast<int>(lines) / assoc;
+    ltrf_assert(std::has_single_bit(static_cast<unsigned>(num_sets)),
+                "set count %d must be a power of two", num_sets);
+    ways.resize(static_cast<std::size_t>(num_sets) * assoc);
+
+    stat_group.add("hits", &stat_hits);
+    stat_group.add("misses", &stat_misses);
+    stat_group.add("writebacks", &stat_writebacks);
+}
+
+CacheResult
+Cache::access(std::uint64_t line, bool is_write)
+{
+    CacheResult res;
+    const int set = static_cast<int>(line & (num_sets - 1));
+    const std::uint64_t tag = line >> std::countr_zero(
+            static_cast<unsigned>(num_sets));
+    Way *base = &ways[static_cast<std::size_t>(set) * assoc];
+    use_stamp++;
+
+    Way *victim = base;
+    for (int w = 0; w < assoc; w++) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lru = use_stamp;
+            way.dirty |= is_write;
+            stat_hits++;
+            res.hit = true;
+            return res;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lru < victim->lru) {
+            victim = &way;
+        }
+    }
+
+    stat_misses++;
+    if (victim->valid && victim->dirty) {
+        res.writeback = true;
+        res.victim_line = (victim->tag << std::countr_zero(
+                                   static_cast<unsigned>(num_sets))) |
+                          static_cast<std::uint64_t>(set);
+        stat_writebacks++;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = use_stamp;
+    victim->dirty = is_write;
+    return res;
+}
+
+bool
+Cache::probe(std::uint64_t line) const
+{
+    const int set = static_cast<int>(line & (num_sets - 1));
+    const std::uint64_t tag = line >> std::countr_zero(
+            static_cast<unsigned>(num_sets));
+    const Way *base = &ways[static_cast<std::size_t>(set) * assoc];
+    for (int w = 0; w < assoc; w++)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &w : ways)
+        w = Way{};
+}
+
+} // namespace ltrf

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Set-associative cache timing model (tags only, LRU, write-back,
+ * write-allocate). Used for the per-SM L1D/L1I and the shared LLC.
+ */
+
+#ifndef LTRF_MEM_CACHE_HH
+#define LTRF_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ltrf
+{
+
+/** Outcome of a cache access. */
+struct CacheResult
+{
+    bool hit = false;
+    /** A dirty line was evicted and must be written back. */
+    bool writeback = false;
+    /** Line address of the written-back victim (valid if writeback). */
+    std::uint64_t victim_line = 0;
+};
+
+/**
+ * Tag-array-only set-associative cache with true-LRU replacement.
+ *
+ * Addresses are cache-line indices (byte address / line size); the
+ * caller owns that conversion so different levels can share line
+ * addressing.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param name       stat group name
+     * @param size_bytes total capacity
+     * @param assoc      ways per set
+     * @param line_bytes line size (for set-count derivation only)
+     */
+    Cache(const std::string &name, std::size_t size_bytes, int assoc,
+          int line_bytes);
+
+    /** Look up @p line; allocate on miss. */
+    CacheResult access(std::uint64_t line, bool is_write);
+
+    /** @return true without state change if @p line is resident. */
+    bool probe(std::uint64_t line) const;
+
+    /** Invalidate everything (kernel boundary). */
+    void flush();
+
+    int numSets() const { return num_sets; }
+
+    std::uint64_t hits() const { return stat_hits.value(); }
+    std::uint64_t misses() const { return stat_misses.value(); }
+    std::uint64_t writebacks() const { return stat_writebacks.value(); }
+
+    double
+    hitRate() const
+    {
+        std::uint64_t total = hits() + misses();
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits()) /
+                                    static_cast<double>(total);
+    }
+
+    const StatGroup &stats() const { return stat_group; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;      ///< last-use stamp
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    int num_sets;
+    int assoc;
+    std::vector<Way> ways;          ///< num_sets x assoc
+    std::uint64_t use_stamp = 0;
+
+    StatGroup stat_group;
+    Counter stat_hits;
+    Counter stat_misses;
+    Counter stat_writebacks;
+};
+
+} // namespace ltrf
+
+#endif // LTRF_MEM_CACHE_HH

@@ -1,0 +1,51 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ltrf
+{
+
+Dram::Dram(const DramParams &params)
+    : p(params), banks(params.num_banks), stat_group("dram")
+{
+    ltrf_assert(p.num_banks >= 1, "need at least one DRAM bank");
+    ltrf_assert(p.row_hit_latency <= p.row_miss_latency,
+                "row hit cannot be slower than row miss");
+    stat_group.add("requests", &stat_requests);
+    stat_group.add("row_hits", &stat_row_hits);
+    stat_group.add("row_misses", &stat_row_misses);
+}
+
+Cycle
+Dram::schedule(std::uint64_t line, Cycle now)
+{
+    stat_requests++;
+    // Row-aligned bank interleaving: a row's lines live in one bank,
+    // consecutive rows rotate across banks, so sequential streams
+    // get row-buffer hits and bank-level parallelism.
+    const std::uint64_t row = line / p.lines_per_row;
+    Bank &bank = banks[row % banks.size()];
+
+    const bool row_hit = bank.open_row == row;
+    if (row_hit)
+        stat_row_hits++;
+    else
+        stat_row_misses++;
+    const int access_latency =
+            row_hit ? p.row_hit_latency : p.row_miss_latency;
+
+    const Cycle start = std::max(now, bank.busy_until);
+    const Cycle data_ready = start + access_latency;
+    // The shared data bus serializes transfers across banks.
+    const Cycle xfer_start = std::max(data_ready, bus_busy_until);
+    const Cycle done = xfer_start + p.service_cycles;
+
+    bank.busy_until = data_ready;
+    bank.open_row = row;
+    bus_busy_until = done;
+    return done;
+}
+
+} // namespace ltrf

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Banked GDDR5-like DRAM timing model.
+ *
+ * Approximates an FR-FCFS memory controller (Table 3) with per-bank
+ * row buffers and busy times plus a shared data bus: row hits pay
+ * CAS-only latency, row misses pay precharge+activate+CAS, each
+ * request occupies its bank until service completes and the data bus
+ * for a fixed transfer time. Requests are scheduled in arrival order
+ * per bank, which under high bank-level parallelism behaves closely
+ * enough to FR-FCFS for the relative comparisons this reproduction
+ * needs (see DESIGN.md).
+ */
+
+#ifndef LTRF_MEM_DRAM_HH
+#define LTRF_MEM_DRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ltrf
+{
+
+/** DRAM timing parameters, in core cycles. */
+struct DramParams
+{
+    int num_banks = 16;
+    int row_hit_latency = 80;       ///< CAS only
+    int row_miss_latency = 200;     ///< precharge + activate + CAS
+    int service_cycles = 4;         ///< data-bus occupancy per 128B line
+    int lines_per_row = 16;         ///< 2KB row / 128B line
+};
+
+/** Banked DRAM with row-buffer and bus contention modeling. */
+class Dram
+{
+  public:
+    explicit Dram(const DramParams &params);
+
+    /**
+     * Schedule a line request arriving at @p now.
+     * @return the cycle the data transfer completes.
+     */
+    Cycle schedule(std::uint64_t line, Cycle now);
+
+    std::uint64_t requests() const { return stat_requests.value(); }
+    std::uint64_t rowHits() const { return stat_row_hits.value(); }
+
+    double
+    rowHitRate() const
+    {
+        auto r = requests();
+        return r == 0 ? 0.0
+                      : static_cast<double>(rowHits()) /
+                                static_cast<double>(r);
+    }
+
+    const StatGroup &stats() const { return stat_group; }
+
+  private:
+    struct Bank
+    {
+        Cycle busy_until = 0;
+        std::uint64_t open_row = ~0ull;
+    };
+
+    DramParams p;
+    std::vector<Bank> banks;
+    Cycle bus_busy_until = 0;
+
+    StatGroup stat_group;
+    Counter stat_requests;
+    Counter stat_row_hits;
+    Counter stat_row_misses;
+};
+
+} // namespace ltrf
+
+#endif // LTRF_MEM_DRAM_HH

@@ -1,0 +1,82 @@
+#include "mem/mem_system.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ltrf
+{
+
+MemSystem::MemSystem(const SimConfig &cfg) : config(cfg)
+{
+    for (int s = 0; s < cfg.num_sms; s++) {
+        l1ds.push_back(std::make_unique<Cache>(
+                "l1d" + std::to_string(s), cfg.l1d_bytes, cfg.l1d_assoc,
+                cfg.line_bytes));
+    }
+    llc_cache = std::make_unique<Cache>("llc", cfg.llc_bytes,
+                                        cfg.llc_assoc, cfg.line_bytes);
+    DramParams dp;
+    dp.num_banks = cfg.num_dram_banks;
+    dp.row_miss_latency = cfg.dram_latency;
+    dp.row_hit_latency = cfg.dram_latency * 2 / 5;
+    // Keep the per-SM DRAM bandwidth share constant when benches
+    // scale down the SM count from the paper's 24 (see DESIGN.md).
+    // The baseline is ~2 lines/cycle for the full 24-SM chip
+    // (GDDR5-class ~300GB/s at the Table 3 core clock), i.e.
+    // dram_service_cycles=1 means one line per num_sms/48-cycle
+    // share at the simulated SM count.
+    dp.service_cycles = std::max(
+            1, cfg.dram_service_cycles * 24 / (cfg.num_sms * 2));
+    dram_model = std::make_unique<Dram>(dp);
+}
+
+MemAccessResult
+MemSystem::accessGlobal(int sm, std::uint64_t line, bool is_write,
+                        Cycle now)
+{
+    ltrf_assert(sm >= 0 && sm < static_cast<int>(l1ds.size()),
+                "SM index %d out of range", sm);
+    MemAccessResult res;
+
+    CacheResult l1 = l1ds[sm]->access(line, is_write);
+    if (l1.hit) {
+        res.l1_hit = true;
+        res.done = now + config.l1d_hit_latency;
+        return res;
+    }
+
+    // L1 miss: look up the shared LLC (after L1 lookup time).
+    Cycle llc_time = now + config.l1d_hit_latency;
+    CacheResult l2 = llc_cache->access(line, false);
+    if (l1.writeback)
+        llc_cache->access(l1.victim_line, true);
+    if (l2.hit) {
+        res.llc_hit = true;
+        res.done = llc_time + config.llc_latency;
+        return res;
+    }
+
+    // LLC miss: go to DRAM; dirty LLC victims consume bus time too.
+    Cycle fill_done = dram_model->schedule(line, llc_time +
+                                                         config.llc_latency);
+    if (l2.writeback)
+        dram_model->schedule(l2.victim_line, fill_done);
+    res.done = fill_done + config.llc_latency;
+    return res;
+}
+
+double
+MemSystem::l1dHitRate() const
+{
+    std::uint64_t hits = 0, total = 0;
+    for (const auto &c : l1ds) {
+        hits += c->hits();
+        total += c->hits() + c->misses();
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                                static_cast<double>(total);
+}
+
+} // namespace ltrf

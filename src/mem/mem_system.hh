@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Memory hierarchy glue: per-SM L1D caches in front of a shared LLC
+ * and banked DRAM (paper Table 3).
+ *
+ * The interface is latency-resolving: an access returns the cycle
+ * its data arrives. Misses propagate L1D -> LLC -> DRAM; dirty
+ * victims consume DRAM bus time. The SM model deactivates a warp
+ * whenever the returned completion is far enough away (an L1D miss),
+ * which is what drives the two-level scheduler.
+ */
+
+#ifndef LTRF_MEM_MEM_SYSTEM_HH
+#define LTRF_MEM_MEM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+
+namespace ltrf
+{
+
+/** Result of a global-memory access. */
+struct MemAccessResult
+{
+    Cycle done = 0;      ///< cycle the data is available
+    bool l1_hit = false;
+    bool llc_hit = false;
+};
+
+/** Shared LLC + DRAM with per-SM L1D front ends. */
+class MemSystem
+{
+  public:
+    explicit MemSystem(const SimConfig &cfg);
+
+    /** Access one line from SM @p sm at cycle @p now. */
+    MemAccessResult accessGlobal(int sm, std::uint64_t line, bool is_write,
+                                 Cycle now);
+
+    const Cache &l1d(int sm) const { return *l1ds[sm]; }
+    const Cache &llc() const { return *llc_cache; }
+    const Dram &dram() const { return *dram_model; }
+
+    /** Aggregate L1D hit rate across SMs. */
+    double l1dHitRate() const;
+
+  private:
+    SimConfig config;
+    std::vector<std::unique_ptr<Cache>> l1ds;
+    std::unique_ptr<Cache> llc_cache;
+    std::unique_ptr<Dram> dram_model;
+};
+
+} // namespace ltrf
+
+#endif // LTRF_MEM_MEM_SYSTEM_HH

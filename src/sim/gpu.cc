@@ -1,0 +1,117 @@
+#include "sim/gpu.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ltrf
+{
+
+int
+Gpu::residentWarps(const SimConfig &cfg, const Kernel &kernel)
+{
+    ltrf_assert(kernel.reg_demand >= 1, "kernel without register demand");
+    int by_capacity = cfg.numMrfRegs() / kernel.reg_demand;
+    // Thread blocks are allocated whole: round down to CTA
+    // granularity (4 warps) as real occupancy calculations do.
+    if (by_capacity >= 4)
+        by_capacity -= by_capacity % 4;
+    return std::clamp(by_capacity, 1, cfg.max_warps_per_sm);
+}
+
+Gpu::Gpu(const SimConfig &cfg, const Kernel &kernel, std::uint64_t seed)
+    : config(cfg), workload_name(kernel.name)
+{
+    config.validate();
+    compiled = compileWorkload(kernel, config, seed);
+    mem = std::make_unique<MemSystem>(config);
+    int resident = residentWarps(config, kernel);
+    for (int s = 0; s < config.num_sms; s++) {
+        sms.push_back(std::make_unique<Sm>(s, config, compiled, *mem,
+                                           resident));
+    }
+}
+
+SimResult
+Gpu::run(Cycle max_cycles)
+{
+    // Per-SM event scheduling: an SM is stepped only at cycles where
+    // it can make progress; the global clock advances to the minimum
+    // pending event so idle stretches (everything waiting on memory)
+    // are skipped.
+    Cycle cycle = 0;
+    std::vector<Cycle> wake(sms.size(), 0);
+    while (cycle < max_cycles) {
+        Cycle next = NEVER;
+        bool all_done = true;
+        for (size_t i = 0; i < sms.size(); i++) {
+            Sm &sm = *sms[i];
+            if (sm.done())
+                continue;
+            all_done = false;
+            if (wake[i] <= cycle) {
+                sm.step(cycle);
+                wake[i] = sm.done() ? NEVER : sm.nextEvent(cycle);
+            }
+            next = std::min(next, wake[i]);
+        }
+        if (all_done)
+            break;
+        cycle = (next == NEVER) ? cycle + 1 : std::max(next, cycle + 1);
+    }
+    ltrf_assert(cycle < max_cycles,
+                "simulation of '%s' exceeded %llu cycles",
+                workload_name.c_str(),
+                static_cast<unsigned long long>(max_cycles));
+
+    SimResult r;
+    r.workload = workload_name;
+    r.design = config.design;
+    r.cycles = cycle;
+    r.resident_warps = Gpu::residentWarps(
+            config, compiled.kernel());
+
+    std::uint64_t hits = 0, reads = 0;
+    for (auto &sm : sms) {
+        r.instructions += sm->instructionsIssued();
+        const RfStats &s = sm->rf().rfStats();
+        r.main_accesses += s.main_accesses.value();
+        r.cache_accesses += s.cache_accesses.value();
+        r.wcb_accesses += s.wcb_accesses.value();
+        r.xfer_regs += s.xfer_regs.value();
+        r.prefetch_ops += s.prefetch_ops.value();
+        r.writeback_regs += s.writeback_regs.value();
+        r.prefetch_stall_cycles += s.prefetch_stall_cycles.value();
+        hits += s.cache_hits.value();
+        reads += s.cache_hits.value() + s.cache_misses.value();
+    }
+    r.ipc = r.cycles == 0 ? 0.0
+                          : static_cast<double>(r.instructions) /
+                                    static_cast<double>(r.cycles);
+    r.cache_hit_rate = reads == 0 ? 0.0
+                                  : static_cast<double>(hits) /
+                                            static_cast<double>(reads);
+    r.l1d_hit_rate = mem->l1dHitRate();
+
+    // Per-SM activity rates: totals divided by SM count and cycles.
+    double denom = static_cast<double>(config.num_sms) *
+                   static_cast<double>(r.cycles ? r.cycles : 1);
+    r.activity.main_accesses_per_cycle =
+            static_cast<double>(r.main_accesses) / denom;
+    r.activity.cache_accesses_per_cycle =
+            static_cast<double>(r.cache_accesses) / denom;
+    r.activity.wcb_accesses_per_cycle =
+            static_cast<double>(r.wcb_accesses) / denom;
+    r.activity.xfer_regs_per_cycle =
+            static_cast<double>(r.xfer_regs) / denom;
+    return r;
+}
+
+SimResult
+simulate(const SimConfig &cfg, const Kernel &kernel, std::uint64_t seed)
+{
+    Gpu gpu(cfg, kernel, seed);
+    return gpu.run();
+}
+
+} // namespace ltrf

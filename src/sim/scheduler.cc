@@ -1,0 +1,97 @@
+#include "sim/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ltrf
+{
+
+TwoLevelScheduler::TwoLevelScheduler(int num_active,
+                                     std::vector<Warp> &warps_)
+    : num_active_slots(num_active), warps(warps_)
+{
+    ltrf_assert(num_active >= 1, "active pool must hold >= 1 warp");
+    for (const Warp &w : warps)
+        ready_queue.push_back(w.id);
+}
+
+void
+TwoLevelScheduler::tick(Cycle now, RegFileSystem &rf)
+{
+    // Promote warps whose activation or memory wait has resolved.
+    for (Warp &w : warps) {
+        if (w.state == WarpState::ACTIVATING && w.wait_until <= now) {
+            w.state = WarpState::ACTIVE;
+            w.ready_at = std::max(w.ready_at, w.wait_until);
+        } else if (w.state == WarpState::INACTIVE_WAIT &&
+                   w.wait_until <= now) {
+            w.state = WarpState::INACTIVE_READY;
+            ready_queue.push_back(w.id);
+        }
+    }
+
+    // Fill free active slots from the inactive-ready queue.
+    while (static_cast<int>(active.size()) < num_active_slots &&
+           !ready_queue.empty()) {
+        WarpId id = ready_queue.front();
+        ready_queue.pop_front();
+        Warp &w = warps[id];
+        ltrf_assert(w.state == WarpState::INACTIVE_READY,
+                    "warp %d in ready queue but state %d", id,
+                    static_cast<int>(w.state));
+        Cycle done = rf.activate(id, now);
+        active.push_back(id);
+        if (done <= now) {
+            w.state = WarpState::ACTIVE;
+            w.ready_at = std::max(w.ready_at, now);
+        } else {
+            w.state = WarpState::ACTIVATING;
+            w.wait_until = done;
+        }
+    }
+    ltrf_assert(static_cast<int>(active.size()) == num_active_slots ||
+                ready_queue.empty(),
+                "pool %zu/%d with %zu ready warps queued", active.size(),
+                num_active_slots, ready_queue.size());
+}
+
+void
+TwoLevelScheduler::deactivate(Warp &w, Cycle until, RegFileSystem &rf,
+                              Cycle now)
+{
+    ltrf_assert(w.state == WarpState::ACTIVE,
+                "deactivating non-active warp %d", w.id);
+    rf.deactivate(w.id, now);
+    removeActive(w.id);
+    w.state = WarpState::INACTIVE_WAIT;
+    w.wait_until = until;
+}
+
+void
+TwoLevelScheduler::finish(Warp &w, RegFileSystem &rf, Cycle now)
+{
+    ltrf_assert(w.state == WarpState::ACTIVE,
+                "finishing non-active warp %d", w.id);
+    rf.deactivate(w.id, now);
+    removeActive(w.id);
+    w.state = WarpState::FINISHED;
+    num_finished++;
+}
+
+void
+TwoLevelScheduler::removeActive(WarpId id)
+{
+    auto it = std::find(active.begin(), active.end(), id);
+    ltrf_assert(it != active.end(), "warp %d not in active pool", id);
+    size_t pos = static_cast<size_t>(it - active.begin());
+    active.erase(it);
+    if (rr > static_cast<int>(pos))
+        rr--;
+    if (!active.empty())
+        rr %= static_cast<int>(active.size());
+    else
+        rr = 0;
+}
+
+} // namespace ltrf

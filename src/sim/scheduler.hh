@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Two-level warp scheduler (paper section 3.2, after [19, 53]).
+ *
+ * A fixed-size active pool issues in round-robin; warps hitting a
+ * long-latency operation are deactivated into the inactive pool and
+ * replaced by a ready inactive warp. Activation may itself take time
+ * (LTRF refetches the warp's register working set), which the
+ * scheduler tracks through the ACTIVATING state.
+ */
+
+#ifndef LTRF_SIM_SCHEDULER_HH
+#define LTRF_SIM_SCHEDULER_HH
+
+#include <deque>
+#include <vector>
+
+#include "core/regfile_system.hh"
+#include "sim/warp.hh"
+
+namespace ltrf
+{
+
+/** Active/inactive pool manager for one SM. */
+class TwoLevelScheduler
+{
+  public:
+    /**
+     * @param num_active active pool size (Table 3: 8)
+     * @param warps      all resident warps (owned by the SM)
+     */
+    TwoLevelScheduler(int num_active, std::vector<Warp> &warps);
+
+    /**
+     * Promote finished activations and expired waits, then fill free
+     * active slots from the inactive-ready queue (activating through
+     * @p rf, which may impose a refetch delay).
+     */
+    void tick(Cycle now, RegFileSystem &rf);
+
+    /** Deactivate @p w until @p until (long-latency stall). */
+    void deactivate(Warp &w, Cycle until, RegFileSystem &rf, Cycle now);
+
+    /** Retire @p w (reached EXIT); frees its active slot. */
+    void finish(Warp &w, RegFileSystem &rf, Cycle now);
+
+    /** Warps currently in the active pool, in slot order. */
+    const std::vector<WarpId> &activePool() const { return active; }
+
+    /** Round-robin start index, advanced by the SM after each issue. */
+    int rrIndex() const { return rr; }
+    void advanceRr() { rr = active.empty() ? 0 : (rr + 1) % active.size(); }
+
+    int finishedCount() const { return num_finished; }
+
+  private:
+    void removeActive(WarpId id);
+
+    int num_active_slots;
+    std::vector<Warp> &warps;
+    std::vector<WarpId> active;
+    std::deque<WarpId> ready_queue;
+    int rr = 0;
+    int num_finished = 0;
+};
+
+} // namespace ltrf
+
+#endif // LTRF_SIM_SCHEDULER_HH

@@ -1,0 +1,253 @@
+#include "sim/sm.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace ltrf
+{
+
+namespace
+{
+
+/**
+ * Regions are placed at hashed base addresses so that concurrent
+ * warps' streams spread uniformly over cache sets and DRAM banks
+ * (consecutive or arithmetically related bases alias into the same
+ * index bits and fake conflict misses). The odd multiplier keeps
+ * bases misaligned with power-of-two set counts while leaving
+ * REGION_SPAN lines of room for the stream itself.
+ */
+constexpr std::uint64_t REGION_SPAN = 32771;
+
+std::uint64_t
+regionBase(std::uint64_t region)
+{
+    return (mixSeeds(region, 0x517e0ull) % (1ull << 40)) * REGION_SPAN;
+}
+
+std::vector<Warp>
+makeWarps(const CompiledWorkload &cw, int resident_warps)
+{
+    std::vector<Warp> out;
+    out.reserve(static_cast<size_t>(resident_warps));
+    for (int w = 0; w < resident_warps; w++) {
+        out.emplace_back(w, &cw.traces[w], cw.kernel().num_regs,
+                         static_cast<int>(cw.kernel().mem_streams.size()));
+    }
+    return out;
+}
+
+} // namespace
+
+Sm::Sm(int sm_id, const SimConfig &cfg, const CompiledWorkload &cw,
+       MemSystem &mem_, int resident_warps)
+    : id(sm_id), config(cfg), compiled(cw), mem(mem_),
+      regfile(makeRegFileSystem(cfg, cw, resident_warps)),
+      warps(makeWarps(cw, resident_warps)),
+      sched(cfg.num_active_warps, warps),
+      collectors(static_cast<size_t>(cfg.num_operand_collectors), 0)
+{
+    ltrf_assert(resident_warps >= 1 &&
+                resident_warps <= cfg.max_warps_per_sm,
+                "resident warp count %d out of range", resident_warps);
+    ltrf_assert(static_cast<size_t>(resident_warps) <= cw.traces.size(),
+                "not enough traces for %d resident warps",
+                resident_warps);
+}
+
+int
+Sm::freeCollector(Cycle now) const
+{
+    for (size_t i = 0; i < collectors.size(); i++)
+        if (collectors[i] <= now)
+            return static_cast<int>(i);
+    return -1;
+}
+
+std::uint64_t
+Sm::lineFor(Warp &w, const Instruction &in)
+{
+    const MemStreamSpec &spec =
+            compiled.kernel().mem_streams[in.mem_stream];
+    std::uint64_t pos = w.stream_pos[in.mem_stream]++;
+    std::uint64_t within =
+            (pos % static_cast<std::uint64_t>(spec.working_set_lines)) *
+            static_cast<std::uint64_t>(spec.stride_lines);
+    // Shared streams use one region for all warps and SMs
+    // (inter-warp reuse); private streams get disjoint regions.
+    ltrf_assert(static_cast<std::uint64_t>(spec.working_set_lines) *
+                static_cast<std::uint64_t>(spec.stride_lines) <=
+                REGION_SPAN,
+                "memory stream exceeds its region span");
+    std::uint64_t region =
+            static_cast<std::uint64_t>(in.mem_stream) * 4096 +
+            (spec.shared_across_warps
+                     ? 0
+                     : 1 + static_cast<std::uint64_t>(id) * 64 +
+                               static_cast<std::uint64_t>(w.id));
+    return regionBase(region) + within;
+}
+
+bool
+Sm::tryIssue(Warp &w, Cycle now)
+{
+    // Skip no-op PREFETCHes for free; a triggered PREFETCH blocks the
+    // warp until the working set arrives and consumes the slot.
+    while (!w.atEnd()) {
+        const TraceRef &ref = w.trace->refs[w.pc];
+        const Instruction &in =
+                compiled.kernel().block(ref.bb).instrs[ref.idx];
+        if (in.op != Opcode::PREFETCH)
+            break;
+        Cycle done = regfile->prefetch(w.id, ref.bb, in, now);
+        w.pc++;
+        if (done > now) {
+            w.ready_at = done;
+            return true;
+        }
+    }
+    ltrf_assert(!w.atEnd(), "warp %d ran past its trace", w.id);
+
+    const TraceRef &ref = w.trace->refs[w.pc];
+    const Instruction &in =
+            compiled.kernel().block(ref.bb).instrs[ref.idx];
+
+    // Scoreboard: all sources ready, destination write ordered.
+    Cycle dep = now;
+    for (RegId s : in.srcs)
+        if (s != INVALID_REG)
+            dep = std::max(dep, w.reg_ready[s]);
+    if (in.hasDst())
+        dep = std::max(dep, w.reg_ready[in.dst]);
+    if (dep > now) {
+        w.ready_at = dep;
+        pipe.dep_stalls++;
+        return false;
+    }
+
+    if (in.op == Opcode::EXIT) {
+        w.pc++;
+        w.issued++;
+        sched.finish(w, *regfile, now);
+        return true;
+    }
+
+    // Structural hazard: need a free operand collector.
+    int c = freeCollector(now);
+    if (c < 0) {
+        pipe.collector_stalls++;
+        return false;
+    }
+
+    Cycle ops_ready = regfile->readOperands(w.id, in, now);
+    collectors[c] = ops_ready;
+    w.pc++;
+    w.issued++;
+
+    if (isGlobalMem(in.op)) {
+        MemAccessResult res = mem.accessGlobal(id, lineFor(w, in),
+                                               isStore(in.op), ops_ready);
+        if (isLoad(in.op)) {
+            w.reg_ready[in.dst] = res.done;
+            if (!res.l1_hit) {
+                // Long-latency miss: the two-level scheduler swaps
+                // the warp out; the result lands in the MRF.
+                regfile->writeResult(w.id, in, res.done, false);
+                sched.deactivate(w, res.done, *regfile, now);
+                pipe.deactivations++;
+                pipe.mem_stall_sum += res.done - ops_ready;
+                pipe.mem_stall_max =
+                        std::max(pipe.mem_stall_max,
+                                 static_cast<std::uint64_t>(res.done -
+                                                            ops_ready));
+            } else {
+                regfile->writeResult(w.id, in, res.done, true);
+                w.ready_at = now + 1;
+            }
+        } else {
+            // Stores retire through write buffers; the warp runs on.
+            w.ready_at = now + 1;
+        }
+    } else {
+        Cycle done = ops_ready + execLatency(in.op);
+        if (in.hasDst()) {
+            w.reg_ready[in.dst] = done;
+            regfile->writeResult(w.id, in, done, true);
+        }
+        w.ready_at = now + 1;
+    }
+    return true;
+}
+
+void
+Sm::step(Cycle now)
+{
+    sched.tick(now, *regfile);
+
+    // Snapshot the pool: deactivations mutate it mid-loop.
+    std::vector<WarpId> pool = sched.activePool();
+    pipe.stepped_cycles++;
+    pipe.active_warp_sum += pool.size();
+    for (const Warp &w : warps) {
+        if (w.state == WarpState::INACTIVE_READY)
+            pipe.ready_sum++;
+        else if (w.state == WarpState::INACTIVE_WAIT)
+            pipe.wait_sum++;
+    }
+    if (pool.empty())
+        return;
+    int issued = 0;
+    int n = static_cast<int>(pool.size());
+    int start = sched.rrIndex() % n;
+    for (int k = 0; k < n && issued < config.issue_width; k++) {
+        Warp &w = warps[pool[(start + k) % n]];
+        if (w.state != WarpState::ACTIVE || w.ready_at > now)
+            continue;
+        if (tryIssue(w, now))
+            issued++;
+    }
+    pipe.issued_sum += static_cast<std::uint64_t>(issued);
+    if (issued > 0)
+        sched.advanceRr();
+}
+
+Cycle
+Sm::nextEvent(Cycle now) const
+{
+    if (done())
+        return NEVER;
+    Cycle e = NEVER;
+    bool pool_has_room = static_cast<int>(sched.activePool().size()) <
+                         config.num_active_warps;
+    for (const Warp &w : warps) {
+        switch (w.state) {
+          case WarpState::ACTIVE:
+            e = std::min(e, std::max(w.ready_at, now + 1));
+            break;
+          case WarpState::ACTIVATING:
+          case WarpState::INACTIVE_WAIT:
+            e = std::min(e, std::max(w.wait_until, now + 1));
+            break;
+          case WarpState::INACTIVE_READY:
+            if (pool_has_room)
+                e = std::min(e, now + 1);
+            break;
+          case WarpState::FINISHED:
+            break;
+        }
+    }
+    return e;
+}
+
+std::uint64_t
+Sm::instructionsIssued() const
+{
+    std::uint64_t n = 0;
+    for (const Warp &w : warps)
+        n += w.issued;
+    return n;
+}
+
+} // namespace ltrf

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Streaming multiprocessor cycle model.
+ *
+ * Per cycle: the two-level scheduler refills the active pool, then
+ * up to issue_width instructions issue from ready active warps in
+ * round-robin order. Each issued instruction occupies an operand
+ * collector until its source operands are collected through the
+ * register file system (which models WCB lookups, cache/MRF bank
+ * contention, and crossbars), then executes on its functional-unit
+ * latency. Global memory accesses walk the real cache hierarchy;
+ * an L1D miss deactivates the warp until the data returns (the
+ * latency-hiding the whole paper builds on).
+ */
+
+#ifndef LTRF_SIM_SM_HH
+#define LTRF_SIM_SM_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/regfile_system.hh"
+#include "mem/mem_system.hh"
+#include "sim/scheduler.hh"
+#include "sim/warp.hh"
+
+namespace ltrf
+{
+
+/** One streaming multiprocessor. */
+class Sm
+{
+  public:
+    /**
+     * @param sm_id          index within the GPU
+     * @param cfg            system configuration
+     * @param cw             compiled workload (shared, read-only)
+     * @param mem            shared memory hierarchy
+     * @param resident_warps warps admitted by the occupancy model
+     */
+    Sm(int sm_id, const SimConfig &cfg, const CompiledWorkload &cw,
+       MemSystem &mem, int resident_warps);
+
+    /** Advance one cycle at global time @p now. */
+    void step(Cycle now);
+
+    /** @return true once every resident warp has finished. */
+    bool
+    done() const
+    {
+        return sched.finishedCount() ==
+               static_cast<int>(warps.size());
+    }
+
+    /** Earliest future cycle at which stepping can make progress. */
+    Cycle nextEvent(Cycle now) const;
+
+    /** Dynamic (non-PREFETCH) instructions issued so far. */
+    std::uint64_t instructionsIssued() const;
+
+    const RegFileSystem &rf() const { return *regfile; }
+
+    /** Pipeline introspection (diagnostics and tests). */
+    struct PipeStats
+    {
+        std::uint64_t stepped_cycles = 0;  ///< cycles this SM stepped
+        std::uint64_t active_warp_sum = 0; ///< sum of pool sizes
+        std::uint64_t issued_sum = 0;      ///< instructions issued
+        std::uint64_t dep_stalls = 0;      ///< issue blocked on deps
+        std::uint64_t collector_stalls = 0;///< blocked on collectors
+        std::uint64_t deactivations = 0;
+        std::uint64_t ready_sum = 0;       ///< inactive-ready warps
+        std::uint64_t wait_sum = 0;        ///< inactive-waiting warps
+        std::uint64_t mem_stall_sum = 0;   ///< total load-miss latency
+        std::uint64_t mem_stall_max = 0;   ///< worst load-miss latency
+    };
+
+    const PipeStats &pipeStats() const { return pipe; }
+
+  private:
+    /** Try to issue one instruction from @p w; true if a slot used. */
+    bool tryIssue(Warp &w, Cycle now);
+
+    /** Find an operand collector free at @p now, or -1. */
+    int freeCollector(Cycle now) const;
+
+    /** Generate the cache-line address for a memory instruction. */
+    std::uint64_t lineFor(Warp &w, const Instruction &in);
+
+    int id;
+    const SimConfig &config;
+    const CompiledWorkload &compiled;
+    MemSystem &mem;
+    std::unique_ptr<RegFileSystem> regfile;
+    std::vector<Warp> warps;
+    TwoLevelScheduler sched;
+    std::vector<Cycle> collectors;  ///< busy-until per operand collector
+    PipeStats pipe;
+};
+
+} // namespace ltrf
+
+#endif // LTRF_SIM_SM_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-warp execution state.
+ */
+
+#ifndef LTRF_SIM_WARP_HH
+#define LTRF_SIM_WARP_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "compiler/trace_gen.hh"
+
+namespace ltrf
+{
+
+/** Two-level scheduler warp states (paper section 3.2). */
+enum class WarpState
+{
+    INACTIVE_READY,   ///< in the inactive pool, eligible to activate
+    ACTIVATING,       ///< activation (register refetch) in flight
+    ACTIVE,           ///< in the active pool, may issue
+    INACTIVE_WAIT,    ///< deactivated, waiting on a long-latency op
+    FINISHED,         ///< reached EXIT
+};
+
+/** One warp's dynamic state in the SM pipeline. */
+struct Warp
+{
+    Warp(WarpId id_, const WarpTrace *trace_, int num_regs,
+         int num_streams)
+        : id(id_), trace(trace_),
+          reg_ready(static_cast<size_t>(num_regs), 0),
+          stream_pos(static_cast<size_t>(num_streams), 0)
+    {}
+
+    WarpId id;
+    const WarpTrace *trace;
+    std::size_t pc = 0;
+    WarpState state = WarpState::INACTIVE_READY;
+    /** ACTIVATING / INACTIVE_WAIT: cycle the condition resolves. */
+    Cycle wait_until = 0;
+    /** ACTIVE: earliest cycle the next issue attempt can succeed. */
+    Cycle ready_at = 0;
+    /** Scoreboard: cycle each architectural register's value lands. */
+    std::vector<Cycle> reg_ready;
+    /** Per memory stream access counter (address generation). */
+    std::vector<std::uint32_t> stream_pos;
+    /** Dynamic (non-PREFETCH) instructions issued. */
+    std::uint64_t issued = 0;
+
+    bool finished() const { return state == WarpState::FINISHED; }
+    bool atEnd() const { return pc >= trace->refs.size(); }
+};
+
+} // namespace ltrf
+
+#endif // LTRF_SIM_WARP_HH

@@ -1,0 +1,45 @@
+#include "tech/energy_model.hh"
+
+#include "common/log.hh"
+
+namespace ltrf
+{
+
+double
+rfPower(const RfConfig &cfg, const RfActivity &act, bool has_cache,
+        double baseline_main_rate, const EnergyParams &p)
+{
+    ltrf_assert(baseline_main_rate > 0.0,
+                "baseline main access rate must be positive");
+
+    // Normalization: the BL design on configuration #1 at activity
+    // baseline_main_rate has power 1.0 = leak_frac + dynamic share,
+    // so one baseline access costs (1 - leak_frac(HP)) /
+    // baseline_main_rate in normalized power units.
+    const double baseline_access_energy =
+            (1.0 - leakageFraction(CellTech::HP_SRAM)) /
+            baseline_main_rate;
+
+    // This configuration's static power and per-access energy, from
+    // Table 2's total-power scalar.
+    const double leak_frac = leakageFraction(cfg.tech);
+    const double static_power = cfg.power * leak_frac;
+    const double main_access_energy =
+            cfg.power * (1.0 - leak_frac) / baseline_main_rate;
+
+    double power = static_power +
+                   main_access_energy * act.main_accesses_per_cycle;
+
+    if (has_cache) {
+        power += p.cache_access * baseline_access_energy *
+                 act.cache_accesses_per_cycle;
+        power += p.wcb_access * baseline_access_energy *
+                 act.wcb_accesses_per_cycle;
+        power += p.xbar_transfer * baseline_access_energy *
+                 act.xfer_regs_per_cycle;
+        power += p.cache_leakage + p.wcb_leakage;
+    }
+    return power;
+}
+
+} // namespace ltrf

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Event-based register file power model (paper Figure 10, GPUWattch
+ * substitution).
+ *
+ * All energies are expressed relative to one access to the baseline
+ * 256KB HP-SRAM main register file (configuration #1), and power is
+ * normalized against the baseline design's power on the same
+ * workload. Table 2's total-power scalar for a configuration is
+ * split into a static (leakage) part and a dynamic part using the
+ * technology's leakage fraction; the dynamic part scales with the
+ * measured main-RF access rate. Auxiliary LTRF structures (register
+ * file cache, WCB, prefetch crossbar) add their own event energies
+ * and leakage, which is how the model reproduces the paper's finding
+ * that LTRF's extra structures offset part of its main-RF access
+ * savings (section 6.2).
+ */
+
+#ifndef LTRF_TECH_ENERGY_MODEL_HH
+#define LTRF_TECH_ENERGY_MODEL_HH
+
+#include "tech/rf_config.hh"
+
+namespace ltrf
+{
+
+/** Energy coefficients, relative to one baseline main-RF access. */
+struct EnergyParams
+{
+    /**
+     * Register file cache access energy. The baseline 256KB register
+     * file is 16 banks of 16KB, so one access is dominated by a
+     * 16KB-bank read plus the wide crossbar; a 16KB cache access
+     * pays a comparable bank energy with a smaller crossbar, i.e. a
+     * large fraction of a main-RF access. This is also why the paper
+     * finds LTRF's structures offset much of its main-RF access
+     * savings (section 6.2).
+     */
+    double cache_access = 0.55;
+    /** Cache leakage per cycle: 0.4 x (16KB / 256KB). */
+    double cache_leakage = 0.025;
+    /** WCB lookup energy (a 256x5b indexed table + vectors). */
+    double wcb_access = 0.06;
+    /** WCB leakage per cycle (114880 bits/SM, section 4.3). */
+    double wcb_leakage = 0.012;
+    /** Per-register transfer over the narrow prefetch crossbar. */
+    double xbar_transfer = 0.08;
+};
+
+/** Measured register file activity, in events per core cycle. */
+struct RfActivity
+{
+    double main_accesses_per_cycle = 0.0;   ///< MRF bank reads+writes
+    double cache_accesses_per_cycle = 0.0;  ///< RF cache reads+writes
+    double wcb_accesses_per_cycle = 0.0;    ///< WCB lookups
+    double xfer_regs_per_cycle = 0.0;       ///< prefetch/writeback regs
+};
+
+/**
+ * Register file power for design activity @p act on configuration
+ * @p cfg, in units where the baseline (configuration #1, no cache)
+ * at activity rate @p baseline_main_rate equals 1.0.
+ *
+ * @param cfg                the main register file configuration
+ * @param act                measured activity of the evaluated design
+ * @param has_cache          include cache/WCB/crossbar components
+ * @param baseline_main_rate main-RF accesses per cycle of the BL
+ *                           design on configuration #1 for the same
+ *                           workload (the normalization anchor)
+ */
+double rfPower(const RfConfig &cfg, const RfActivity &act, bool has_cache,
+               double baseline_main_rate,
+               const EnergyParams &p = EnergyParams{});
+
+} // namespace ltrf
+
+#endif // LTRF_TECH_ENERGY_MODEL_HH

@@ -1,0 +1,100 @@
+#include "tech/rf_config.hh"
+
+#include "common/config.hh"
+#include "common/log.hh"
+
+namespace ltrf
+{
+
+const char *
+cellTechName(CellTech t)
+{
+    switch (t) {
+      case CellTech::HP_SRAM:   return "HP SRAM";
+      case CellTech::LSTP_SRAM: return "LSTP SRAM";
+      case CellTech::TFET_SRAM: return "TFET SRAM";
+      case CellTech::DWM:       return "DWM";
+    }
+    return "?";
+}
+
+double
+leakageFraction(CellTech t)
+{
+    // Split of total RF power into static leakage at baseline
+    // activity. HP-SRAM GPU register files are leakage-heavy; the
+    // alternative technologies exist precisely because their
+    // standby power is far lower (paper section 2.2 references).
+    switch (t) {
+      case CellTech::HP_SRAM:   return 0.40;
+      case CellTech::LSTP_SRAM: return 0.10;
+      case CellTech::TFET_SRAM: return 0.05;
+      case CellTech::DWM:       return 0.02;
+    }
+    return 0.40;
+}
+
+const std::array<RfConfig, 7> &
+rfConfigTable()
+{
+    // Paper Table 2, verbatim.
+    static const std::array<RfConfig, 7> table = {{
+        {1, CellTech::HP_SRAM, 1, 1, "Crossbar",
+         1.0, 1.0, 1.0, 1.0, 1.0, 1.0},
+        {2, CellTech::HP_SRAM, 1, 8, "Crossbar",
+         8.0, 8.0, 8.0, 1.0, 1.0, 1.25},
+        {3, CellTech::HP_SRAM, 8, 1, "F. Butterfly",
+         8.0, 8.0, 8.0, 1.0, 1.0, 1.5},
+        {4, CellTech::LSTP_SRAM, 1, 8, "Crossbar",
+         8.0, 8.0, 3.2, 1.0, 2.5, 1.6},
+        {5, CellTech::LSTP_SRAM, 8, 1, "F. Butterfly",
+         8.0, 8.0, 3.2, 1.0, 2.5, 2.8},
+        {6, CellTech::TFET_SRAM, 8, 1, "F. Butterfly",
+         8.0, 8.0, 1.05, 1.0, 7.6, 5.3},
+        {7, CellTech::DWM, 8, 1, "F. Butterfly",
+         8.0, 0.25, 0.65, 32.0, 12.0, 6.3},
+    }};
+    return table;
+}
+
+const RfConfig &
+rfConfig(int id)
+{
+    ltrf_assert(id >= 1 && id <= 7, "RF configuration #%d out of range", id);
+    return rfConfigTable()[id - 1];
+}
+
+const std::array<GenerationMemory, 4> &
+generationMemoryTable()
+{
+    // Published capacities per generation (Figure 2): flagship dies
+    // GF100, GK110, GM200, GP100. The Pascal register file is 14.3MB,
+    // more than 60% of on-chip storage (paper section 2.2).
+    static const std::array<GenerationMemory, 4> table = {{
+        {"Fermi", 2010, 1.00, 0.75, 2.00},
+        {"Kepler", 2012, 0.96, 1.50, 3.75},
+        {"Maxwell", 2014, 3.40, 3.00, 6.00},
+        {"Pascal", 2016, 5.00, 4.00, 14.30},
+    }};
+    return table;
+}
+
+void
+applyRfConfig(SimConfig &cfg, const RfConfig &rc)
+{
+    cfg.rf_capacity_mult = static_cast<int>(rc.capacity);
+    cfg.mrf_latency_mult = rc.latency;
+    cfg.num_mrf_banks = 16 * rc.banks_mult;
+}
+
+const std::array<GpuProduct, 2> &
+gpuProductTable()
+{
+    static const std::array<GpuProduct, 2> table = {{
+        {"Fermi", 64, 128 * 1024, 48},
+        {"Maxwell", 256, 256 * 1024, 64},
+    }};
+    return table;
+}
+
+} // namespace ltrf

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Register file design points (paper Table 2) and published GPU
+ * generation data (paper Figure 2, Table 1).
+ *
+ * The paper derives these numbers with CACTI 6.0 and NVSim and only
+ * ever consumes them as scalars relative to the baseline 256KB
+ * HP-SRAM register file with 16 banks; we encode the published
+ * scalars directly (see DESIGN.md, substitutions).
+ */
+
+#ifndef LTRF_TECH_RF_CONFIG_HH
+#define LTRF_TECH_RF_CONFIG_HH
+
+#include <array>
+#include <string>
+
+namespace ltrf
+{
+
+/** Memory cell technologies evaluated in Table 2. */
+enum class CellTech
+{
+    HP_SRAM,    ///< high-performance CMOS SRAM
+    LSTP_SRAM,  ///< low-standby-power CMOS SRAM
+    TFET_SRAM,  ///< tunnel-FET SRAM
+    DWM,        ///< domain-wall (racetrack) memory
+};
+
+/** @return a printable technology name. */
+const char *cellTechName(CellTech t);
+
+/**
+ * Fraction of total register file power that is leakage for a
+ * design built in technology @p t, at baseline activity. Used to
+ * split Table 2's total-power scalar into dynamic and static parts
+ * for the event-based power model.
+ */
+double leakageFraction(CellTech t);
+
+/** One row of Table 2; all values relative to configuration #1. */
+struct RfConfig
+{
+    int id;                 ///< 1..7
+    CellTech tech;
+    int banks_mult;         ///< 1x = 16 banks
+    int bank_size_mult;     ///< 1x = 16KB
+    const char *network;    ///< "Crossbar" or "F. Butterfly"
+    double capacity;        ///< relative capacity
+    double area;            ///< relative area
+    double power;           ///< relative total power
+    double cap_per_area;
+    double cap_per_power;
+    double latency;         ///< relative access latency
+};
+
+/** All seven configurations of Table 2, in order. */
+const std::array<RfConfig, 7> &rfConfigTable();
+
+/** Look up configuration #id (1-based, as in the paper). */
+const RfConfig &rfConfig(int id);
+
+/** Published per-generation on-chip memory capacities (Figure 2). */
+struct GenerationMemory
+{
+    const char *name;
+    int year;
+    double l1_shared_mb;    ///< L1D caches + shared memory
+    double l2_mb;           ///< L2 / LLC
+    double rf_mb;           ///< aggregate register file
+
+    double total() const { return l1_shared_mb + l2_mb + rf_mb; }
+    double rfFraction() const { return rf_mb / total(); }
+};
+
+/** Fermi, Kepler, Maxwell, Pascal (Figure 2). */
+const std::array<GenerationMemory, 4> &generationMemoryTable();
+
+/** Register allocation model for Table 1's two GPU products. */
+struct GpuProduct
+{
+    const char *name;
+    int max_regs_per_thread;    ///< nvcc maxregcount limit
+    std::size_t rf_bytes;       ///< baseline register file per SM
+    int max_warps;              ///< resident warp limit
+};
+
+/** Fermi (64 regs, 128KB) and Maxwell (256 regs, 256KB). */
+const std::array<GpuProduct, 2> &gpuProductTable();
+
+struct SimConfig;
+
+/**
+ * Apply Table 2 configuration @p rc to @p cfg: capacity multiplier,
+ * access-latency multiplier, and bank count (configurations with 8x
+ * banks use the flattened-butterfly network precisely so the paper
+ * can afford 128 banks).
+ */
+void applyRfConfig(SimConfig &cfg, const RfConfig &rc);
+
+} // namespace ltrf
+
+#endif // LTRF_TECH_RF_CONFIG_HH

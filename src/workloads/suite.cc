@@ -1,0 +1,518 @@
+/**
+ * @file
+ * Definitions of the 14 synthetic workloads.
+ *
+ * Register-sensitive kernels use 64-160 registers per thread in
+ * phased windows (a dozen registers busy for a few dozen
+ * instructions, then the next window), which is what gives real GPU
+ * kernels their small register working sets relative to their total
+ * register demand — the property LTRF's register-intervals exploit.
+ * Register-insensitive kernels use <= 32 registers so the baseline
+ * 256KB register file already sustains 64 warps.
+ */
+
+#include <vector>
+
+#include "common/log.hh"
+#include "isa/kernel_builder.hh"
+#include "workloads/workload.hh"
+
+namespace ltrf
+{
+
+namespace
+{
+
+/**
+ * Emit @p phases compute phases. Each phase works on a window of
+ * @p window registers starting at @p base + phase * @p window: it
+ * optionally loads inputs from @p ld_stream, runs a multiply-add
+ * chain of roughly @p len instructions over the window, mixes in an
+ * SFU op every @p sfu_every instructions, and optionally stores a
+ * result to @p st_stream at phase end.
+ */
+void
+emitPhases(KernelBuilder &b, int base, int phases, int window, int len,
+           int mem_every, int ld_stream, int st_stream, int sfu_every = 0)
+{
+    ltrf_assert(window >= 4, "phase window too small");
+    int global_pos = 0;   // spreads loads evenly across all phases
+    for (int p = 0; p < phases; p++) {
+        int lo = base + p * window;
+        b.mov(lo);                       // window live-in seed
+        b.mov(lo + 1);
+        int emitted = 2;
+        int r = lo + 2;
+        while (emitted < len) {
+            global_pos++;
+            if (mem_every > 0 && ld_stream >= 0 &&
+                global_pos % mem_every == 0) {
+                b.load(r, lo, ld_stream);
+            } else if (sfu_every > 0 && emitted % sfu_every == 1) {
+                b.sfu(r, lo);
+            } else {
+                // Independent accumulators: the FFMA result feeds the
+                // same register it reads, and the window rotation
+                // keeps the reuse distance above the ALU latency.
+                b.ffma(r, lo, lo + 1, r);
+            }
+            emitted++;
+            r = lo + 2 + (r - lo - 1) % (window - 2);
+        }
+        if (st_stream >= 0)
+            b.store(lo + 2, lo, st_stream);
+    }
+}
+
+// ----- Register-sensitive workloads -----
+
+Workload
+sgemm()
+{
+    // Dense matrix multiply: tiled accumulation, shared input tiles,
+    // large accumulator register block.
+    KernelBuilder b("sgemm");
+    MemStreamSpec a_tile;
+    a_tile.working_set_lines = 256;
+    a_tile.shared_across_warps = true;
+    MemStreamSpec b_tile = a_tile;
+    MemStreamSpec c_out;
+    c_out.working_set_lines = 24;
+    int sa = b.stream(a_tile), sb = b.stream(b_tile), sc = b.stream(c_out);
+    MemStreamSpec b_cols;
+    b_cols.working_set_lines = 4096;      // streaming B columns
+    int sin = b.stream(b_cols);
+
+    b.mov(0).mov(1);
+    b.beginLoop(20);                      // K-tile loop
+    b.load(2, 0, sa);
+    b.load(3, 1, sb);
+    b.load(4, 0, sin);
+    b.load(5, 1, sin);
+    emitPhases(b, 8, 9, 12, 38, 104, sin, -1);
+    b.endLoop();
+    // Epilogue: write the C tile.
+    b.beginLoop(4);
+    b.store(8, 0, sc);
+    b.iadd(4, 0, 1);
+    b.endLoop();
+    Workload w{"sgemm", true, b.build()};
+    return w;
+}
+
+Workload
+backprop()
+{
+    // Rodinia backprop: layer evaluation, sigmoid via SFU, weight
+    // updates streaming to memory.
+    KernelBuilder b("backprop");
+    MemStreamSpec weights;
+    weights.working_set_lines = 4096;
+    MemStreamSpec acts;
+    acts.working_set_lines = 64;
+    acts.shared_across_warps = true;
+    int sw = b.stream(weights), sact = b.stream(acts);
+    MemStreamSpec out_tile;
+    out_tile.working_set_lines = 24;      // rewritten output tile
+    int sout = b.stream(out_tile);
+
+    b.mov(0).mov(1);
+    b.beginLoop(24, 4);
+    b.load(2, 0, sw);
+    b.load(3, 1, sact);
+    b.load(4, 0, sact);
+    emitPhases(b, 8, 7, 12, 35, 96, sw, -1, 11);
+    b.endLoop();
+    b.store(9, 0, sout);
+    Workload w{"backprop", true, b.build()};
+    return w;
+}
+
+Workload
+hotspot()
+{
+    // Rodinia hotspot: 5-point stencil over a grid, ping-pong
+    // buffers, temperature update chain.
+    KernelBuilder b("hotspot");
+    MemStreamSpec grid;
+    grid.working_set_lines = 4096;
+    MemStreamSpec power;
+    power.working_set_lines = 4096;
+    int sg = b.stream(grid), sp = b.stream(power);
+    MemStreamSpec lut;
+    lut.working_set_lines = 96;           // shared hot table
+    lut.shared_across_warps = true;
+    int slut = b.stream(lut);
+    MemStreamSpec out_tile;
+    out_tile.working_set_lines = 24;      // rewritten output tile
+    int sout = b.stream(out_tile);
+
+    b.mov(0).mov(1);
+    b.beginLoop(30);
+    b.load(2, 0, sg);
+    b.load(3, 0, slut);
+    b.load(4, 0, slut);
+    b.load(5, 0, slut);
+    emitPhases(b, 8, 9, 12, 32, 104, sg, -1);
+    b.endLoop();
+    b.store(10, 0, sout);
+    Workload w{"hotspot", true, b.build()};
+    return w;
+}
+
+Workload
+srad()
+{
+    // Rodinia srad: diffusion coefficients with data-dependent
+    // branches and divisions (SFU).
+    KernelBuilder b("srad");
+    MemStreamSpec img;
+    img.working_set_lines = 4096;
+    int si = b.stream(img);
+    MemStreamSpec lut;
+    lut.working_set_lines = 96;           // shared hot table
+    lut.shared_across_warps = true;
+    int slut = b.stream(lut);
+    MemStreamSpec out_tile;
+    out_tile.working_set_lines = 24;      // rewritten output tile
+    int sout = b.stream(out_tile);
+
+    b.mov(0).mov(1);
+    b.beginLoop(27, 6);
+    b.load(2, 0, si);
+    b.load(4, 1, slut);
+    b.isetp(3, 2, 1);
+    b.beginIf(0.35, 3);
+    emitPhases(b, 8, 4, 11, 29, 80, si, -1, 7);
+    b.beginElse();
+    emitPhases(b, 52, 4, 11, 26, 80, si, -1);
+    b.endIf();
+    b.endLoop();
+    b.store(9, 0, sout);
+    Workload w{"srad", true, b.build()};
+    return w;
+}
+
+Workload
+lud()
+{
+    // Rodinia LU decomposition: triangular solve with jittered trip
+    // counts (row length shrinks) and dependent FMA chains.
+    KernelBuilder b("lud");
+    MemStreamSpec mat;
+    mat.working_set_lines = 4096;
+    int sm = b.stream(mat);
+    MemStreamSpec lut;
+    lut.working_set_lines = 96;           // shared hot table
+    lut.shared_across_warps = true;
+    int slut = b.stream(lut);
+    MemStreamSpec out_tile;
+    out_tile.working_set_lines = 24;      // rewritten output tile
+    int sout = b.stream(out_tile);
+
+    b.mov(0).mov(1);
+    b.beginLoop(21, 6);
+    b.load(2, 0, sm);
+    b.load(3, 1, slut);
+    b.load(4, 0, slut);
+    emitPhases(b, 8, 8, 13, 41, 112, sm, -1);
+    b.endLoop();
+    b.store(10, 0, sout);
+    Workload w{"lud", true, b.build()};
+    return w;
+}
+
+Workload
+lavamd()
+{
+    // Rodinia lavaMD: particle interactions, very high register
+    // demand, compute-dense inner loop over neighbour cells.
+    KernelBuilder b("lavaMD");
+    MemStreamSpec particles;
+    particles.working_set_lines = 128;
+    particles.shared_across_warps = true;
+    int sp = b.stream(particles);
+    MemStreamSpec neigh;
+    neigh.working_set_lines = 4096;       // streaming neighbour cells
+    int sn = b.stream(neigh);
+
+    b.mov(0).mov(1);
+    b.beginLoop(12);
+    b.load(2, 0, sp);
+    b.beginLoop(5);
+    b.load(3, 0, sn);
+    b.load(4, 1, sp);
+    emitPhases(b, 8, 11, 13, 35, 104, sn, -1, 9);
+    b.endLoop();
+    b.endLoop();
+    b.store(12, 0, sp);
+    Workload w{"lavaMD", true, b.build()};
+    return w;
+}
+
+Workload
+mriq()
+{
+    // Parboil mri-q: Fourier reconstruction, sin/cos-dominated inner
+    // loop streaming over sample points.
+    KernelBuilder b("mri-q");
+    MemStreamSpec samples;
+    samples.working_set_lines = 4096;
+    int ss = b.stream(samples);
+    MemStreamSpec lut;
+    lut.working_set_lines = 96;           // shared hot table
+    lut.shared_across_warps = true;
+    int slut = b.stream(lut);
+
+    b.mov(0).mov(1);
+    b.beginLoop(42);
+    b.load(2, 0, ss);
+    b.load(3, 1, slut);
+    emitPhases(b, 8, 5, 12, 32, 96, ss, -1, 5);
+    b.endLoop();
+    b.store(9, 0, ss);
+    Workload w{"mri-q", true, b.build()};
+    return w;
+}
+
+Workload
+nw()
+{
+    // Rodinia Needleman-Wunsch: wavefront dynamic programming,
+    // dependent chains, branchy score selection.
+    KernelBuilder b("nw");
+    MemStreamSpec score;
+    score.working_set_lines = 4096;
+    int ss = b.stream(score);
+    MemStreamSpec out_tile;
+    out_tile.working_set_lines = 24;      // rewritten output tile
+    int sout = b.stream(out_tile);
+
+    b.mov(0).mov(1);
+    b.beginLoop(36, 8);
+    b.load(2, 0, ss);
+    b.isetp(3, 2, 1);
+    b.beginIf(0.5, 3);
+    emitPhases(b, 8, 3, 10, 26, 72, ss, -1);
+    b.beginElse();
+    emitPhases(b, 40, 3, 10, 26, 72, ss, -1);
+    b.endIf();
+    b.endLoop();
+    b.store(9, 0, sout);
+    Workload w{"nw", true, b.build()};
+    return w;
+}
+
+Workload
+gaussian()
+{
+    // Rodinia gaussian elimination: row updates, streaming matrix
+    // rows, medium register demand.
+    KernelBuilder b("gaussian");
+    MemStreamSpec mat;
+    mat.working_set_lines = 4096;
+    int sm = b.stream(mat);
+    MemStreamSpec lut;
+    lut.working_set_lines = 96;           // shared hot table
+    lut.shared_across_warps = true;
+    int slut = b.stream(lut);
+    MemStreamSpec out_tile;
+    out_tile.working_set_lines = 24;      // rewritten output tile
+    int sout = b.stream(out_tile);
+
+    b.mov(0).mov(1);
+    b.beginLoop(27, 5);
+    b.load(2, 0, sm);
+    b.load(3, 0, slut);
+    emitPhases(b, 8, 6, 11, 35, 96, sm, -1);
+    b.endLoop();
+    b.store(8, 0, sout);
+    Workload w{"gaussian", true, b.build()};
+    return w;
+}
+
+// ----- Register-insensitive workloads -----
+
+Workload
+bfs()
+{
+    // Rodinia BFS: pointer-chasing loads over a huge frontier,
+    // branch-heavy, hardly any register pressure.
+    KernelBuilder b("bfs");
+    MemStreamSpec edges;
+    edges.working_set_lines = 8192;   // 1MB graph, LLC-resident
+    edges.stride_lines = 3;
+    edges.shared_across_warps = true;
+    int se = b.stream(edges);
+
+    b.mov(0).mov(1);
+    b.beginLoop(64, 12);
+    b.load(2, 0, se);
+    b.isetp(3, 2, 1);
+    b.beginIf(0.3, 3);
+    b.load(4, 2, se);
+    b.iadd(5, 4, 1);
+    b.store(5, 2, se);
+    b.endIf();
+    b.iadd(0, 0, 1);
+    b.endLoop();
+    Workload w{"bfs", false, b.build()};
+    return w;
+}
+
+Workload
+btree()
+{
+    // Rodinia b+tree: key search, short dependent load chains with
+    // branches at every level (named register-insensitive in the
+    // paper's section 6.1).
+    KernelBuilder b("btree");
+    MemStreamSpec nodes;
+    nodes.working_set_lines = 4096;   // shared tree, LLC-resident
+    nodes.stride_lines = 5;
+    nodes.shared_across_warps = true;
+    int sn = b.stream(nodes);
+
+    b.mov(0).mov(1);
+    b.beginLoop(48, 10);
+    b.load(2, 0, sn);
+    b.isetp(3, 2, 1);
+    b.beginIf(0.5, 3);
+    b.iadd(0, 2, 1);
+    b.beginElse();
+    b.iadd(0, 2, 0);
+    b.endIf();
+    b.load(4, 0, sn);
+    b.iadd(5, 4, 1);
+    b.endLoop();
+    b.store(5, 0, sn);
+    Workload w{"btree", false, b.build()};
+    return w;
+}
+
+Workload
+kmeans()
+{
+    // Rodinia kmeans: distance to shared centroids, small register
+    // footprint, decent locality (named register-insensitive in the
+    // paper's section 6.1).
+    KernelBuilder b("kmeans");
+    MemStreamSpec points;
+    points.working_set_lines = 384;
+    MemStreamSpec centroids;
+    centroids.working_set_lines = 16;
+    centroids.shared_across_warps = true;
+    int sp = b.stream(points), sc = b.stream(centroids);
+
+    b.mov(0).mov(1);
+    b.beginLoop(48);
+    b.load(2, 0, sp);
+    b.beginLoop(6);
+    b.load(3, 1, sc);
+    b.fadd(4, 2, 3);
+    b.ffma(5, 4, 4, 5);
+    b.endLoop();
+    b.isetp(6, 5, 1);
+    b.beginIf(0.4, 6);
+    b.mov(7, 5);
+    b.endIf();
+    b.endLoop();
+    b.store(7, 0, sp);
+    Workload w{"kmeans", false, b.build()};
+    return w;
+}
+
+Workload
+histo()
+{
+    // Parboil histo: streaming loads, shared-memory bin updates.
+    KernelBuilder b("histo");
+    MemStreamSpec input;
+    input.working_set_lines = 64;     // tile of the input image
+    int si = b.stream(input);
+
+    b.mov(0).mov(1);
+    b.beginLoop(160, 24);
+    b.load(2, 0, si);
+    b.iadd(3, 2, 1);
+    b.sharedLoad(4, 3);
+    b.iadd(4, 4, 1);
+    b.sharedStore(4, 3);
+    b.iadd(0, 0, 1);
+    b.endLoop();
+    Workload w{"histo", false, b.build()};
+    return w;
+}
+
+Workload
+streamcluster()
+{
+    // Rodinia streamcluster: streaming distance computation over a
+    // large point set, light register use.
+    KernelBuilder b("streamcluster");
+    MemStreamSpec pts;
+    pts.working_set_lines = 6144;
+    MemStreamSpec centers;
+    centers.working_set_lines = 32;
+    centers.shared_across_warps = true;
+    int sp = b.stream(pts), sc = b.stream(centers);
+
+    b.mov(0).mov(1);
+    b.beginLoop(56, 8);
+    b.load(2, 0, sp);
+    b.load(3, 1, sc);
+    b.fadd(4, 2, 3);
+    b.ffma(5, 4, 4, 5);
+    b.ffma(6, 5, 4, 6);
+    b.isetp(7, 6, 1);
+    b.beginIf(0.25, 7);
+    b.store(6, 0, sp);
+    b.endIf();
+    b.endLoop();
+    Workload w{"streamcluster", false, b.build()};
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+buildSuite()
+{
+    std::vector<Workload> suite;
+    // Insensitive first, then sensitive (display order of Figure 9).
+    suite.push_back(bfs());
+    suite.push_back(btree());
+    suite.push_back(histo());
+    suite.push_back(kmeans());
+    suite.push_back(streamcluster());
+    suite.push_back(backprop());
+    suite.push_back(gaussian());
+    suite.push_back(hotspot());
+    suite.push_back(lavamd());
+    suite.push_back(lud());
+    suite.push_back(mriq());
+    suite.push_back(nw());
+    suite.push_back(sgemm());
+    suite.push_back(srad());
+
+    ltrf_assert(suite.size() == 14,
+                "the paper evaluates 14 workloads, got %zu",
+                suite.size());
+    for (const Workload &w : suite) {
+        ltrf_assert(w.kernel.num_regs >= 1, "empty kernel '%s'",
+                    w.name.c_str());
+        if (w.register_sensitive) {
+            ltrf_assert(w.kernel.reg_demand >= 40,
+                        "register-sensitive workload '%s' only demands "
+                        "%d registers", w.name.c_str(),
+                        w.kernel.reg_demand);
+        } else {
+            ltrf_assert(w.kernel.reg_demand <= 32,
+                        "register-insensitive workload '%s' demands %d "
+                        "registers", w.name.c_str(), w.kernel.reg_demand);
+        }
+    }
+    return suite;
+}
+
+} // namespace ltrf

@@ -1,0 +1,47 @@
+#include "workloads/workload.hh"
+
+#include "common/log.hh"
+
+namespace ltrf
+{
+
+// Defined in suite.cc.
+std::vector<Workload> buildSuite();
+
+const std::vector<Workload> &
+WorkloadSuite::all()
+{
+    static const std::vector<Workload> suite = buildSuite();
+    return suite;
+}
+
+const Workload &
+WorkloadSuite::byName(const std::string &name)
+{
+    for (const Workload &w : all())
+        if (w.name == name)
+            return w;
+    ltrf_fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<const Workload *>
+WorkloadSuite::sensitive()
+{
+    std::vector<const Workload *> out;
+    for (const Workload &w : all())
+        if (w.register_sensitive)
+            out.push_back(&w);
+    return out;
+}
+
+std::vector<const Workload *>
+WorkloadSuite::insensitive()
+{
+    std::vector<const Workload *> out;
+    for (const Workload &w : all())
+        if (!w.register_sensitive)
+            out.push_back(&w);
+    return out;
+}
+
+} // namespace ltrf

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The evaluation workload suite.
+ *
+ * The paper evaluates 14 workloads randomly drawn from CUDA SDK,
+ * Rodinia, and Parboil: nine register-sensitive (register file
+ * capacity limits their TLP) and five register-insensitive. We
+ * cannot ship those binaries, so each is replaced by a synthetic
+ * kernel with the properties the evaluation actually exercises:
+ * per-thread register demand, register working-set phase behaviour
+ * (which drives interval formation and cache hit rates), loop
+ * structure, memory intensity and locality, and functional-unit mix
+ * (see DESIGN.md, substitutions).
+ */
+
+#ifndef LTRF_WORKLOADS_WORKLOAD_HH
+#define LTRF_WORKLOADS_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/kernel.hh"
+
+namespace ltrf
+{
+
+/** One named workload. */
+struct Workload
+{
+    std::string name;
+    /** True if register file capacity limits this workload's TLP. */
+    bool register_sensitive = false;
+    Kernel kernel;
+};
+
+/** Access to the 14-workload suite. */
+class WorkloadSuite
+{
+  public:
+    /** All workloads: the 5 insensitive first, then the 9 sensitive. */
+    static const std::vector<Workload> &all();
+
+    /** Look a workload up by name; fatal() if absent. */
+    static const Workload &byName(const std::string &name);
+
+    static std::vector<const Workload *> sensitive();
+    static std::vector<const Workload *> insensitive();
+};
+
+} // namespace ltrf
+
+#endif // LTRF_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the Address Allocation Unit (paper Figure 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/alloc_unit.hh"
+
+using namespace ltrf;
+
+TEST(AllocUnit, StartsAllFree)
+{
+    AllocUnit au(16);
+    EXPECT_EQ(au.freeCount(), 16);
+    EXPECT_EQ(au.capacity(), 16);
+    for (int i = 0; i < 16; i++)
+        EXPECT_FALSE(au.isAllocated(i));
+}
+
+TEST(AllocUnit, AllocationsAreUniqueAndTracked)
+{
+    AllocUnit au(8);
+    std::set<int> got;
+    for (int i = 0; i < 8; i++) {
+        int id = au.allocate();
+        EXPECT_GE(id, 0);
+        EXPECT_LT(id, 8);
+        EXPECT_TRUE(au.isAllocated(id));
+        EXPECT_TRUE(got.insert(id).second) << "duplicate id " << id;
+    }
+    EXPECT_EQ(au.freeCount(), 0);
+}
+
+TEST(AllocUnit, FifoRecycling)
+{
+    // Released entries go to the back of the unused queue (the
+    // figure's two-queue structure): allocation order follows
+    // release order.
+    AllocUnit au(4);
+    int a = au.allocate();
+    int b = au.allocate();
+    au.release(a);
+    au.release(b);
+    // Queue now: [c0, c1, a, b] where c0, c1 never allocated.
+    au.allocate();
+    au.allocate();
+    EXPECT_EQ(au.allocate(), a);
+    EXPECT_EQ(au.allocate(), b);
+}
+
+TEST(AllocUnit, ReleaseMakesReusable)
+{
+    AllocUnit au(2);
+    int a = au.allocate();
+    au.allocate();
+    EXPECT_EQ(au.freeCount(), 0);
+    au.release(a);
+    EXPECT_EQ(au.freeCount(), 1);
+    EXPECT_FALSE(au.isAllocated(a));
+}
+
+TEST(AllocUnit, ResetFreesEverything)
+{
+    AllocUnit au(4);
+    au.allocate();
+    au.allocate();
+    au.reset();
+    EXPECT_EQ(au.freeCount(), 4);
+    std::set<int> got;
+    for (int i = 0; i < 4; i++)
+        got.insert(au.allocate());
+    EXPECT_EQ(got.size(), 4u);
+}
+
+TEST(AllocUnitDeath, ExhaustionPanics)
+{
+    AllocUnit au(1);
+    au.allocate();
+    EXPECT_DEATH(au.allocate(), "exhausted");
+}
+
+TEST(AllocUnitDeath, DoubleReleasePanics)
+{
+    AllocUnit au(2);
+    int a = au.allocate();
+    au.release(a);
+    EXPECT_DEATH(au.release(a), "double release");
+}

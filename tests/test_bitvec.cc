@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit and property tests for the 256-bit register bit-vector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitvec.hh"
+#include "common/rng.hh"
+
+using namespace ltrf;
+
+TEST(RegBitVec, StartsEmpty)
+{
+    RegBitVec v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.count(), 0);
+    for (int r = 0; r < RegBitVec::NUM_BITS; r++)
+        EXPECT_FALSE(v.test(r));
+}
+
+TEST(RegBitVec, SetTestClear)
+{
+    RegBitVec v;
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v.set(255);
+    EXPECT_TRUE(v.test(0));
+    EXPECT_TRUE(v.test(63));
+    EXPECT_TRUE(v.test(64));
+    EXPECT_TRUE(v.test(255));
+    EXPECT_FALSE(v.test(1));
+    EXPECT_EQ(v.count(), 4);
+    v.clear(63);
+    EXPECT_FALSE(v.test(63));
+    EXPECT_EQ(v.count(), 3);
+}
+
+TEST(RegBitVec, InitializerList)
+{
+    RegBitVec v{3, 7, 100};
+    EXPECT_EQ(v.count(), 3);
+    EXPECT_TRUE(v.test(3));
+    EXPECT_TRUE(v.test(7));
+    EXPECT_TRUE(v.test(100));
+}
+
+TEST(RegBitVec, SetAlgebra)
+{
+    RegBitVec a{1, 2, 3};
+    RegBitVec b{3, 4, 5};
+    EXPECT_EQ((a | b).count(), 5);
+    EXPECT_EQ((a & b).count(), 1);
+    EXPECT_TRUE((a & b).test(3));
+    RegBitVec d = a - b;
+    EXPECT_EQ(d.count(), 2);
+    EXPECT_TRUE(d.test(1));
+    EXPECT_TRUE(d.test(2));
+    EXPECT_FALSE(d.test(3));
+}
+
+TEST(RegBitVec, ContainsAndIntersects)
+{
+    RegBitVec a{1, 2, 3, 200};
+    RegBitVec sub{2, 200};
+    RegBitVec other{7};
+    EXPECT_TRUE(a.contains(sub));
+    EXPECT_FALSE(sub.contains(a));
+    EXPECT_TRUE(a.contains(a));
+    EXPECT_TRUE(a.contains(RegBitVec{}));
+    EXPECT_TRUE(a.intersects(sub));
+    EXPECT_FALSE(a.intersects(other));
+}
+
+TEST(RegBitVec, ToListSortedAscending)
+{
+    RegBitVec v{200, 5, 64, 63};
+    auto list = v.toList();
+    ASSERT_EQ(list.size(), 4u);
+    EXPECT_EQ(list[0], 5);
+    EXPECT_EQ(list[1], 63);
+    EXPECT_EQ(list[2], 64);
+    EXPECT_EQ(list[3], 200);
+}
+
+TEST(RegBitVec, ForEachMatchesToList)
+{
+    RegBitVec v{0, 17, 42, 128, 255};
+    std::vector<RegId> seen;
+    v.forEach([&](RegId r) { seen.push_back(r); });
+    EXPECT_EQ(seen, v.toList());
+}
+
+TEST(RegBitVec, EqualityAndReset)
+{
+    RegBitVec a{9, 10};
+    RegBitVec b{9, 10};
+    EXPECT_EQ(a, b);
+    b.set(11);
+    EXPECT_NE(a, b);
+    b.reset();
+    EXPECT_TRUE(b.empty());
+}
+
+TEST(RegBitVec, ToStringFormat)
+{
+    RegBitVec v{1, 5};
+    EXPECT_EQ(v.toString(), "{1, 5}");
+    EXPECT_EQ(RegBitVec{}.toString(), "{}");
+}
+
+/** Property sweep: random sets obey algebraic identities. */
+class RegBitVecProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RegBitVecProperty, AlgebraicIdentities)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+    RegBitVec a, b;
+    for (int i = 0; i < 40; i++) {
+        a.set(static_cast<int>(rng.nextBounded(256)));
+        b.set(static_cast<int>(rng.nextBounded(256)));
+    }
+
+    // |A u B| = |A| + |B| - |A n B|
+    EXPECT_EQ((a | b).count(), a.count() + b.count() - (a & b).count());
+    // (A - B) n B = {}
+    EXPECT_TRUE(((a - b) & b).empty());
+    // (A - B) u (A n B) = A
+    EXPECT_EQ(((a - b) | (a & b)), a);
+    // A u B contains both
+    EXPECT_TRUE((a | b).contains(a));
+    EXPECT_TRUE((a | b).contains(b));
+    // count matches list size
+    EXPECT_EQ(static_cast<size_t>(a.count()), a.toList().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, RegBitVecProperty,
+                         ::testing::Range(0, 20));

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * API-contract death tests: misusing the builder DSL or the kernel
+ * invariants must fail loudly (gem5-style panic), not corrupt state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/register_interval.hh"
+#include "isa/kernel_builder.hh"
+
+using namespace ltrf;
+
+TEST(BuilderContractDeath, EndLoopWithoutBegin)
+{
+    KernelBuilder b("k");
+    b.mov(0);
+    EXPECT_DEATH(b.endLoop(), "no open loop");
+}
+
+TEST(BuilderContractDeath, EndIfWithoutBegin)
+{
+    KernelBuilder b("k");
+    b.mov(0);
+    EXPECT_DEATH(b.endIf(), "no open if");
+}
+
+TEST(BuilderContractDeath, ElseWithoutIf)
+{
+    KernelBuilder b("k");
+    EXPECT_DEATH(b.beginElse(), "no open if");
+}
+
+TEST(BuilderContractDeath, DoubleElse)
+{
+    KernelBuilder b("k");
+    b.mov(0);
+    b.beginIf(0.5, 0);
+    b.beginElse();
+    EXPECT_DEATH(b.beginElse(), "duplicate beginElse");
+}
+
+TEST(BuilderContractDeath, BuildWithUnclosedLoop)
+{
+    KernelBuilder b("k");
+    b.beginLoop(2);
+    b.mov(0);
+    EXPECT_DEATH(b.build(), "unclosed loop");
+}
+
+TEST(BuilderContractDeath, BuildTwice)
+{
+    KernelBuilder b("k");
+    b.mov(0);
+    b.build();
+    EXPECT_DEATH(b.build(), "already consumed");
+}
+
+TEST(BuilderContractDeath, ZeroTripLoop)
+{
+    KernelBuilder b("k");
+    EXPECT_DEATH(b.beginLoop(0), "trip count");
+}
+
+TEST(BuilderContractDeath, BadProbability)
+{
+    KernelBuilder b("k");
+    b.mov(0);
+    EXPECT_DEATH(b.beginIf(1.5, 0), "out of");
+}
+
+TEST(BuilderContractDeath, RegisterIdOutOfRange)
+{
+    KernelBuilder b("k");
+    EXPECT_DEATH(b.mov(256), "out of range");
+}
+
+TEST(BuilderContractDeath, TooSmallIntervalBudget)
+{
+    KernelBuilder b("k");
+    b.mov(0);
+    Kernel k = b.build();
+    FormationOptions opt;
+    opt.max_regs = 2;   // below the 4-operand minimum
+    EXPECT_DEATH(formRegisterIntervals(k, opt), "too small");
+}
+
+TEST(BuilderContract, EmitIntoTerminatedBlockDies)
+{
+    // After endLoop() the latch is terminated; the builder must have
+    // moved on to a fresh block, so emitting still works...
+    KernelBuilder b("k");
+    b.beginLoop(2);
+    b.mov(0);
+    b.endLoop();
+    b.mov(1);   // fine: goes to the loop-exit block
+    Kernel k = b.build();
+    EXPECT_GE(k.numBlocks(), 3);
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+using namespace ltrf;
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c("c", 16 * 1024, 4, 128);  // 128 lines, 32 sets
+    EXPECT_FALSE(c.access(7, false).hit);
+    EXPECT_TRUE(c.access(7, false).hit);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    Cache c("c", 4 * 128, 4, 128);  // one set, 4 ways
+    for (std::uint64_t l = 0; l < 4; l++)
+        c.access(l, false);
+    c.access(0, false);             // refresh line 0
+    c.access(100, false);           // evicts LRU = line 1
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(1));
+    EXPECT_TRUE(c.probe(2));
+    EXPECT_TRUE(c.probe(3));
+}
+
+TEST(Cache, DirtyVictimReportsWriteback)
+{
+    Cache c("c", 2 * 128, 2, 128);  // one set, 2 ways
+    c.access(10, true);             // dirty
+    c.access(20, false);
+    CacheResult r = c.access(30, false);  // evicts line 10
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.victim_line, 10u);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, CleanVictimNoWriteback)
+{
+    Cache c("c", 2 * 128, 2, 128);
+    c.access(10, false);
+    c.access(20, false);
+    CacheResult r = c.access(30, false);
+    EXPECT_FALSE(r.writeback);
+}
+
+TEST(Cache, WriteHitSetsDirty)
+{
+    Cache c("c", 2 * 128, 2, 128);
+    c.access(10, false);
+    c.access(10, true);             // now dirty
+    c.access(20, false);
+    CacheResult r = c.access(30, false);
+    EXPECT_TRUE(r.writeback);
+}
+
+TEST(Cache, ProbeDoesNotDisturbState)
+{
+    Cache c("c", 4 * 128, 4, 128);
+    c.access(1, false);
+    std::uint64_t h = c.hits(), m = c.misses();
+    EXPECT_TRUE(c.probe(1));
+    EXPECT_FALSE(c.probe(2));
+    EXPECT_EQ(c.hits(), h);
+    EXPECT_EQ(c.misses(), m);
+}
+
+TEST(Cache, FlushInvalidatesAll)
+{
+    Cache c("c", 16 * 1024, 4, 128);
+    for (std::uint64_t l = 0; l < 50; l++)
+        c.access(l, false);
+    c.flush();
+    for (std::uint64_t l = 0; l < 50; l++)
+        EXPECT_FALSE(c.probe(l));
+}
+
+TEST(Cache, SetsAreIndependent)
+{
+    Cache c("c", 8 * 128, 2, 128);  // 4 sets x 2 ways
+    // Fill set 0 (lines 0, 4, 8 map to set 0 with 4 sets).
+    c.access(0, false);
+    c.access(4, false);
+    c.access(8, false);             // evicts 0
+    EXPECT_FALSE(c.probe(0));
+    // Set 1 untouched.
+    c.access(1, false);
+    EXPECT_TRUE(c.probe(1));
+}
+
+TEST(Cache, HitRateOnWrappingStream)
+{
+    // A stream that wraps within capacity converges to all hits.
+    Cache c("c", 64 * 128, 4, 128);
+    for (int pass = 0; pass < 8; pass++)
+        for (std::uint64_t l = 0; l < 32; l++)
+            c.access(l, false);
+    // 32 cold misses, the rest hits.
+    EXPECT_EQ(c.misses(), 32u);
+    EXPECT_EQ(c.hits(), 7u * 32u);
+    EXPECT_NEAR(c.hitRate(), 7.0 / 8.0, 1e-9);
+}

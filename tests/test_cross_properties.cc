@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Cross-module property tests over the whole workload suite: the
+ * invariants that tie the compiler, the register file designs, and
+ * the simulator together. Each property is checked on every suite
+ * kernel (and several seeds) rather than on hand-picked examples.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "compiler/liveness.hh"
+#include "compiler/prefetch_insert.hh"
+#include "compiler/trace_gen.hh"
+#include "core/compile.hh"
+#include "sim/gpu.hh"
+#include "workloads/workload.hh"
+
+using namespace ltrf;
+
+namespace
+{
+
+const Workload &
+workload(int wi)
+{
+    return WorkloadSuite::all()[static_cast<size_t>(wi)];
+}
+
+} // namespace
+
+class SuiteProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SuiteProperty, TraceCoversEveryReachableBlock)
+{
+    // With enough warps (different branch seeds), every block of the
+    // CFG is exercised — no dead weight in the synthetic kernels.
+    const Kernel &k = workload(GetParam()).kernel;
+    std::vector<char> seen(k.blocks.size(), 0);
+    for (std::uint64_t s = 0; s < 16; s++) {
+        WarpTrace t = generateTrace(k, s);
+        for (const TraceRef &r : t.refs)
+            seen[r.bb] = 1;
+    }
+    for (const auto &bb : k.blocks) {
+        // Empty fall-through stubs (loop exits) produce no trace
+        // references even though control passes through them.
+        if (bb.instrs.empty())
+            continue;
+        EXPECT_TRUE(seen[bb.id]) << "block " << bb.id << " never runs";
+    }
+}
+
+TEST_P(SuiteProperty, EveryDynamicAccessInsideItsIntervalWorkingSet)
+{
+    // The LTRF contract, checked dynamically: walking any trace, the
+    // registers an instruction touches are covered by the working
+    // set of the interval its block belongs to.
+    FormationOptions opt;
+    opt.max_regs = 16;
+    IntervalAnalysis ia =
+            formRegisterIntervals(workload(GetParam()).kernel, opt);
+    WarpTrace t = generateTrace(ia.kernel, 3);
+    for (const TraceRef &r : t.refs) {
+        const Instruction &in = ia.kernel.block(r.bb).instrs[r.idx];
+        if (in.op == Opcode::PREFETCH)
+            continue;
+        const RegisterInterval &iv = ia.intervalOf(r.bb);
+        RegBitVec used;
+        in.collectRegs(used);
+        EXPECT_TRUE(iv.working_set.contains(used))
+                << "block " << r.bb << " instr " << in.toString();
+    }
+}
+
+TEST_P(SuiteProperty, DynamicPrefetchSegmentsRespectWorkingSetBound)
+{
+    // Between two PREFETCH events a warp may touch at most N distinct
+    // registers (otherwise the cache partition would overflow).
+    FormationOptions opt;
+    opt.max_regs = 16;
+    IntervalAnalysis ia =
+            formRegisterIntervals(workload(GetParam()).kernel, opt);
+    insertPrefetchOps(ia);
+    WarpTrace t = generateTrace(ia.kernel, 5);
+
+    RegBitVec live;
+    IntervalId cur = UNKNOWN_INTERVAL;
+    for (const TraceRef &r : t.refs) {
+        IntervalId itv = ia.block_interval[r.bb];
+        if (itv != cur) {
+            live.reset();
+            cur = itv;
+        }
+        const Instruction &in = ia.kernel.block(r.bb).instrs[r.idx];
+        if (in.op == Opcode::PREFETCH)
+            continue;
+        in.collectRegs(live);
+        EXPECT_LE(live.count(), opt.max_regs);
+    }
+}
+
+TEST_P(SuiteProperty, DeadOperandBitsAreConservative)
+{
+    // A register marked dead must not be read again before being
+    // redefined, on any dynamic path (checked on 8 traces).
+    Kernel k = workload(GetParam()).kernel;
+    annotateDeadOperands(k);
+    for (std::uint64_t seed = 0; seed < 8; seed++) {
+        WarpTrace t = generateTrace(k, seed);
+        std::map<RegId, bool> dead;
+        for (const TraceRef &r : t.refs) {
+            const Instruction &in = k.block(r.bb).instrs[r.idx];
+            if (in.op == Opcode::PREFETCH)
+                continue;
+            for (int i = 0; i < 3; i++) {
+                RegId s = in.srcs[i];
+                if (s == INVALID_REG)
+                    continue;
+                auto it = dead.find(s);
+                EXPECT_FALSE(it != dead.end() && it->second)
+                        << "r" << s << " read after dead bit (seed "
+                        << seed << ")";
+            }
+            // Order matters: reads happen before the write.
+            for (int i = 0; i < 3; i++)
+                if (in.srcs[i] != INVALID_REG && in.src_dead[i])
+                    dead[in.srcs[i]] = true;
+            if (in.dst != INVALID_REG)
+                dead[in.dst] = false;
+        }
+    }
+}
+
+TEST_P(SuiteProperty, LivenessUpperBoundsIntervalWorkingSets)
+{
+    // maxLiveRegs bounds how many values are simultaneously alive;
+    // interval working sets may exceed it (they count all names
+    // touched), but both must respect the architectural cap.
+    const Kernel &k = workload(GetParam()).kernel;
+    int ml = maxLiveRegs(k);
+    EXPECT_GE(ml, 2);
+    EXPECT_LE(ml, k.num_regs);
+}
+
+TEST_P(SuiteProperty, StrandsRefineIntervalBehaviour)
+{
+    // Strand formation can only produce more (or equally many)
+    // regions than interval formation, never fewer; and both cover
+    // the same instruction count.
+    const Kernel &k = workload(GetParam()).kernel;
+    FormationOptions opt;
+    opt.max_regs = 16;
+    IntervalAnalysis ivs = formRegisterIntervals(k, opt);
+    IntervalAnalysis strands = formStrands(k, 16);
+    EXPECT_GE(strands.intervals.size(), ivs.intervals.size());
+    EXPECT_EQ(ivs.kernel.staticInstrCount(),
+              strands.kernel.staticInstrCount());
+}
+
+TEST_P(SuiteProperty, SimulationConservesInstructionCount)
+{
+    // Whatever the design, the simulator executes exactly the traced
+    // instructions — no drops, no duplicates.
+    const Workload &w = workload(GetParam());
+    for (RfDesign d : {RfDesign::BL, RfDesign::LTRF}) {
+        SimConfig cfg;
+        cfg.num_sms = 1;
+        cfg.design = d;
+        Gpu gpu(cfg, w.kernel, 7);
+        SimResult r = gpu.run();
+        std::uint64_t expect = 0;
+        int warps = Gpu::residentWarps(cfg, w.kernel);
+        for (int wi = 0; wi < warps; wi++)
+            expect += gpu.compiledWorkload().traces[wi].real_instrs;
+        EXPECT_EQ(r.instructions, expect) << rfDesignName(d);
+    }
+}
+
+TEST_P(SuiteProperty, LtrfPlusNeverMovesMoreThanLtrf)
+{
+    // The liveness filter only ever removes transfers.
+    const Workload &w = workload(GetParam());
+    SimConfig cfg;
+    cfg.num_sms = 1;
+    cfg.design = RfDesign::LTRF;
+    SimResult ltrf = simulate(cfg, w.kernel, 9);
+    cfg.design = RfDesign::LTRF_PLUS;
+    SimResult plus = simulate(cfg, w.kernel, 9);
+    EXPECT_LE(plus.xfer_regs, ltrf.xfer_regs) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SuiteProperty,
+                         ::testing::Range(0, 14));

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the kernel/CFG dump utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "compiler/dump.hh"
+#include "compiler/liveness.hh"
+#include "compiler/register_interval.hh"
+#include "isa/kernel_builder.hh"
+
+using namespace ltrf;
+
+namespace
+{
+
+Kernel
+sampleKernel()
+{
+    KernelBuilder b("dumpme");
+    b.mov(0);
+    b.beginLoop(5, 1);
+    b.load(1, 0, 0);
+    b.ffma(2, 1, 0, 2);
+    b.endLoop();
+    b.store(2, 0, 0);
+    return b.build();
+}
+
+} // namespace
+
+TEST(Dump, ListingContainsAllBlocksAndInstructions)
+{
+    Kernel k = sampleKernel();
+    std::string text = kernelToString(k);
+    EXPECT_NE(text.find(".kernel dumpme"), std::string::npos);
+    for (const auto &bb : k.blocks) {
+        EXPECT_NE(text.find("B" + std::to_string(bb.id) + ":"),
+                  std::string::npos);
+    }
+    EXPECT_NE(text.find("FFMA"), std::string::npos);
+    EXPECT_NE(text.find("LD.G"), std::string::npos);
+    EXPECT_NE(text.find("EXIT"), std::string::npos);
+    // Branch profile annotated on the latch.
+    EXPECT_NE(text.find("loop latch, trip 5 +-1"), std::string::npos);
+}
+
+TEST(Dump, ListingShowsDeadOperandMarks)
+{
+    KernelBuilder b("dead");
+    b.mov(0);
+    b.mov(1, 0);   // last use of r0
+    Kernel k = b.build();
+    annotateDeadOperands(k);
+    std::string text = kernelToString(k);
+    EXPECT_NE(text.find("r0!"), std::string::npos);
+}
+
+TEST(Dump, DotIsWellFormed)
+{
+    Kernel k = sampleKernel();
+    std::ostringstream os;
+    dumpCfgDot(os, k);
+    std::string dot = os.str();
+    EXPECT_EQ(dot.find("digraph"), 0u);
+    EXPECT_NE(dot.find("B0"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    EXPECT_EQ(dot.back(), '\n');
+    EXPECT_NE(dot.find("}"), std::string::npos);
+    // Two-successor edges carry taken/fall labels.
+    EXPECT_NE(dot.find("taken"), std::string::npos);
+    EXPECT_NE(dot.find("fall"), std::string::npos);
+}
+
+TEST(Dump, DotClustersByInterval)
+{
+    Kernel k = sampleKernel();
+    FormationOptions opt;
+    opt.max_regs = 16;
+    IntervalAnalysis ia = formRegisterIntervals(k, opt);
+    std::ostringstream os;
+    dumpCfgDot(os, ia.kernel, &ia);
+    std::string dot = os.str();
+    for (const auto &iv : ia.intervals) {
+        EXPECT_NE(dot.find("cluster_" + std::to_string(iv.id)),
+                  std::string::npos);
+    }
+    EXPECT_NE(dot.find("ws="), std::string::npos);
+    EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+}

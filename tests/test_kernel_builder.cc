@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the kernel builder DSL and kernel invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/kernel_builder.hh"
+
+using namespace ltrf;
+
+TEST(KernelBuilder, StraightLine)
+{
+    KernelBuilder b("straight");
+    b.mov(0).mov(1).iadd(2, 0, 1);
+    Kernel k = b.build();
+    EXPECT_EQ(k.numBlocks(), 1);
+    EXPECT_EQ(k.num_regs, 3);
+    // 3 emitted + implicit EXIT.
+    EXPECT_EQ(k.staticInstrCount(), 4);
+    EXPECT_TRUE(k.block(0).succs.empty());
+    EXPECT_EQ(k.block(0).instrs.back().op, Opcode::EXIT);
+}
+
+TEST(KernelBuilder, SimpleLoopShape)
+{
+    KernelBuilder b("loop");
+    b.mov(0);
+    b.beginLoop(10);
+    b.iadd(1, 0, 1);
+    b.endLoop();
+    b.mov(2);
+    Kernel k = b.build();
+
+    // entry -> header(latch) -> exit: 3 blocks.
+    EXPECT_EQ(k.numBlocks(), 3);
+    const BasicBlock &latch = k.block(1);
+    ASSERT_EQ(latch.succs.size(), 2u);
+    EXPECT_EQ(latch.succs[0], 1);  // back edge to itself (header==latch)
+    EXPECT_EQ(latch.succs[1], 2);
+    EXPECT_EQ(latch.branch.kind, BranchProfile::Kind::LOOP);
+    EXPECT_EQ(latch.branch.trip_count, 10);
+    EXPECT_EQ(latch.instrs.back().op, Opcode::BRA);
+}
+
+TEST(KernelBuilder, IfElseDiamond)
+{
+    KernelBuilder b("diamond");
+    b.mov(0);
+    b.beginIf(0.5, 0);
+    b.mov(1);
+    b.beginElse();
+    b.mov(2);
+    b.endIf();
+    b.mov(3);
+    Kernel k = b.build();
+
+    // cond, then, else, join = 4 blocks.
+    EXPECT_EQ(k.numBlocks(), 4);
+    const BasicBlock &cond = k.block(0);
+    ASSERT_EQ(cond.succs.size(), 2u);
+    EXPECT_EQ(cond.branch.kind, BranchProfile::Kind::COND);
+    BlockId then_b = cond.succs[0], else_b = cond.succs[1];
+    EXPECT_NE(then_b, else_b);
+    ASSERT_EQ(k.block(then_b).succs.size(), 1u);
+    ASSERT_EQ(k.block(else_b).succs.size(), 1u);
+    EXPECT_EQ(k.block(then_b).succs[0], k.block(else_b).succs[0]);
+    // Join has two preds.
+    EXPECT_EQ(k.block(k.block(then_b).succs[0]).preds.size(), 2u);
+}
+
+TEST(KernelBuilder, IfWithoutElse)
+{
+    KernelBuilder b("if");
+    b.mov(0);
+    b.beginIf(0.25, 0);
+    b.mov(1);
+    b.endIf();
+    Kernel k = b.build();
+    EXPECT_EQ(k.numBlocks(), 3);
+    const BasicBlock &cond = k.block(0);
+    ASSERT_EQ(cond.succs.size(), 2u);
+    // Fall-through goes straight to the join.
+    EXPECT_EQ(cond.succs[1], k.block(cond.succs[0]).succs[0]);
+}
+
+TEST(KernelBuilder, NestedLoopsFigure6Shape)
+{
+    // Paper Figure 6: A -> B <-> C, C -> A (nested natural loops).
+    KernelBuilder b("nested");
+    b.beginLoop(4);          // outer
+    b.mov(0);                // A-ish work
+    b.beginLoop(8);          // inner
+    b.ffma(1, 0, 1, 1);
+    b.endLoop();
+    b.mov(2);
+    b.endLoop();
+    Kernel k = b.build();
+    k.validate();
+    // Two LOOP latches.
+    int loop_latches = 0;
+    for (const auto &bb : k.blocks)
+        if (bb.branch.kind == BranchProfile::Kind::LOOP)
+            loop_latches++;
+    EXPECT_EQ(loop_latches, 2);
+}
+
+TEST(KernelBuilder, MemStreamsRegistered)
+{
+    KernelBuilder b("mem");
+    MemStreamSpec spec;
+    spec.stride_lines = 2;
+    spec.working_set_lines = 64;
+    int s = b.stream(spec);
+    b.mov(0);
+    b.load(1, 0, s);
+    b.store(1, 0, s);
+    Kernel k = b.build();
+    ASSERT_EQ(k.mem_streams.size(), 1u);
+    EXPECT_EQ(k.mem_streams[0].stride_lines, 2);
+}
+
+TEST(KernelBuilder, RegDemandDefaultsToNumRegs)
+{
+    KernelBuilder b("demand");
+    b.mov(5);
+    Kernel k = b.build();
+    EXPECT_EQ(k.num_regs, 6);
+    EXPECT_EQ(k.reg_demand, 6);
+
+    KernelBuilder b2("demand2");
+    b2.mov(5);
+    b2.regDemand(128);
+    Kernel k2 = b2.build();
+    EXPECT_EQ(k2.reg_demand, 128);
+}
+
+TEST(KernelBuilder, ValidateAcceptsComplexKernel)
+{
+    KernelBuilder b("complex");
+    b.mov(0).mov(1);
+    b.beginLoop(5, 2);
+    b.load(2, 0, 0);
+    b.beginIf(0.3, 2);
+    b.sfu(3, 2);
+    b.beginElse();
+    b.fmul(3, 2, 2);
+    b.endIf();
+    b.beginLoop(3);
+    b.ffma(4, 3, 3, 4);
+    b.endLoop();
+    b.store(4, 1, 0);
+    b.endLoop();
+    Kernel k = b.build();  // build() validates
+    EXPECT_GT(k.numBlocks(), 5);
+    EXPECT_EQ(k.num_regs, 5);
+}

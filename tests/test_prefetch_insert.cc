@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for PREFETCH insertion and the section 4.3 code-size model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/prefetch_insert.hh"
+#include "isa/kernel_builder.hh"
+
+using namespace ltrf;
+
+namespace
+{
+
+IntervalAnalysis
+analyzed(Kernel k, int n = 16)
+{
+    FormationOptions o;
+    o.max_regs = n;
+    return formRegisterIntervals(k, o);
+}
+
+Kernel
+loopyKernel()
+{
+    KernelBuilder b("loopy");
+    b.mov(0);
+    for (int l = 0; l < 2; l++) {
+        b.beginLoop(4);
+        for (int i = 0; i < 12; i += 3)
+            b.iadd(12 * l + i + 2, 12 * l + i, 12 * l + i + 1);
+    }
+    b.endLoop();
+    b.endLoop();
+    return b.build();
+}
+
+} // namespace
+
+TEST(PrefetchInsert, OnePrefetchPerInterval)
+{
+    IntervalAnalysis ia = analyzed(loopyKernel(), 8);
+    size_t n_intervals = ia.intervals.size();
+    PrefetchCodeSize cs = insertPrefetchOps(ia);
+    EXPECT_EQ(static_cast<size_t>(cs.num_prefetch_ops), n_intervals);
+
+    int prefetches = 0;
+    for (const auto &bb : ia.kernel.blocks)
+        for (const auto &in : bb.instrs)
+            if (in.op == Opcode::PREFETCH)
+                prefetches++;
+    EXPECT_EQ(static_cast<size_t>(prefetches), n_intervals);
+}
+
+TEST(PrefetchInsert, PrefetchAtHeaderTopWithWorkingSet)
+{
+    IntervalAnalysis ia = analyzed(loopyKernel(), 8);
+    insertPrefetchOps(ia);
+    for (const auto &iv : ia.intervals) {
+        const auto &header = ia.kernel.block(iv.header);
+        ASSERT_FALSE(header.instrs.empty());
+        EXPECT_EQ(header.instrs.front().op, Opcode::PREFETCH);
+        EXPECT_EQ(header.instrs.front().prefetch_mask, iv.working_set);
+    }
+}
+
+TEST(PrefetchInsert, RealInstrCountUnchanged)
+{
+    Kernel k = loopyKernel();
+    int before = k.staticInstrCount();
+    IntervalAnalysis ia = analyzed(std::move(k), 8);
+    insertPrefetchOps(ia);
+    EXPECT_EQ(ia.kernel.staticInstrCount(), before);
+    EXPECT_GT(ia.kernel.staticInstrCountWithPrefetch(), before);
+}
+
+TEST(PrefetchInsert, CodeSizeAccounting)
+{
+    IntervalAnalysis ia = analyzed(loopyKernel(), 8);
+    PrefetchCodeSize cs = insertPrefetchOps(ia);
+
+    EXPECT_EQ(cs.base_bytes,
+              static_cast<std::uint64_t>(ia.kernel.staticInstrCount()) *
+                      INSTR_BYTES);
+    EXPECT_EQ(cs.bitvec_only_bytes,
+              cs.base_bytes + static_cast<std::uint64_t>(
+                                      cs.num_prefetch_ops) *
+                                      PREFETCH_VECTOR_BYTES);
+    EXPECT_EQ(cs.with_instr_bytes,
+              cs.bitvec_only_bytes + static_cast<std::uint64_t>(
+                                             cs.num_prefetch_ops) *
+                                             INSTR_BYTES);
+    // The explicit-instruction encoding always costs more (paper: 9%
+    // vs 7%).
+    EXPECT_GT(cs.instrOverhead(), cs.bitvecOverhead());
+    EXPECT_GT(cs.bitvecOverhead(), 0.0);
+}
+
+TEST(PrefetchInsert, TransformedKernelStillValid)
+{
+    IntervalAnalysis ia = analyzed(loopyKernel(), 8);
+    insertPrefetchOps(ia);
+    ia.kernel.validate();  // panics on breakage
+}

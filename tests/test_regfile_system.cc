@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Behavioural tests for the register file system designs, driven
+ * directly through the RegFileSystem interface (no SM pipeline).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/regfile_system.hh"
+#include "isa/kernel_builder.hh"
+
+using namespace ltrf;
+
+namespace
+{
+
+/** A loop kernel whose working set fits one interval. */
+Kernel
+loopKernel()
+{
+    KernelBuilder b("k");
+    b.mov(0).mov(1);
+    b.beginLoop(4);
+    b.ffma(2, 0, 1, 2);
+    b.iadd(3, 2, 0);
+    b.endLoop();
+    b.store(3, 0, 0);
+    return b.build();
+}
+
+struct Rig
+{
+    Rig(RfDesign design, Kernel k = loopKernel())
+    {
+        cfg.num_sms = 1;
+        cfg.design = design;
+        cfg.validate();
+        cw = compileWorkload(k, cfg, 1);
+        rf = makeRegFileSystem(cfg, cw, 8);
+    }
+
+    /** The PREFETCH instruction at the header of interval 0. */
+    const Instruction &
+    headerPrefetch() const
+    {
+        const BasicBlock &h =
+                cw.analysis.kernel.block(cw.analysis.intervals[0].header);
+        return h.instrs.front();
+    }
+
+    SimConfig cfg;
+    CompiledWorkload cw;
+    std::unique_ptr<RegFileSystem> rf;
+};
+
+} // namespace
+
+TEST(BaselineRf, ReadLatencyScalesWithMultiplier)
+{
+    Rig slow(RfDesign::BL);
+    Rig fast(RfDesign::IDEAL);
+    // Rebuild the slow rig with a 6x multiplier.
+    SimConfig cfg;
+    cfg.design = RfDesign::BL;
+    cfg.mrf_latency_mult = 6.0;
+    CompiledWorkload cw = compileWorkload(loopKernel(), cfg, 1);
+    auto rf = makeRegFileSystem(cfg, cw, 8);
+
+    Instruction in = Instruction::alu(Opcode::IADD, 2, 0, 1);
+    Cycle t_slow = rf->readOperands(0, in, 100);
+    Cycle t_fast = fast.rf->readOperands(0, in, 100);
+    EXPECT_GT(t_slow, t_fast);
+    EXPECT_EQ(t_slow - 100,
+              static_cast<Cycle>(cfg.mrfLatency() +
+                                 cfg.operand_xbar_latency));
+}
+
+TEST(BaselineRf, CountsMainAccesses)
+{
+    Rig rig(RfDesign::BL);
+    Instruction in = Instruction::alu(Opcode::FFMA, 3, 0, 1, 2);
+    rig.rf->readOperands(0, in, 0);
+    rig.rf->writeResult(0, in, 10, true);
+    EXPECT_EQ(rig.rf->rfStats().main_accesses.value(), 4u);
+    EXPECT_EQ(rig.rf->rfStats().cache_accesses.value(), 0u);
+}
+
+TEST(RfcRf, MissThenHit)
+{
+    Rig rig(RfDesign::RFC);
+    Instruction in = Instruction::alu(Opcode::MOV, 5, 4);
+    rig.rf->readOperands(0, in, 0);     // cold: miss on r4
+    rig.rf->readOperands(0, in, 50);    // now cached
+    const RfStats &s = rig.rf->rfStats();
+    EXPECT_EQ(s.cache_misses.value(), 1u);
+    EXPECT_EQ(s.cache_hits.value(), 1u);
+}
+
+TEST(RfcRf, WriteAllocatesForLaterRead)
+{
+    Rig rig(RfDesign::RFC);
+    Instruction def = Instruction::alu(Opcode::MOV, 7);
+    rig.rf->writeResult(0, def, 5, true);
+    Instruction use = Instruction::alu(Opcode::MOV, 8, 7);
+    rig.rf->readOperands(0, use, 20);
+    EXPECT_EQ(rig.rf->rfStats().cache_hits.value(), 1u);
+}
+
+TEST(RfcRf, DeactivationFlushesWarpEntries)
+{
+    Rig rig(RfDesign::RFC);
+    Instruction def = Instruction::alu(Opcode::MOV, 7);
+    rig.rf->writeResult(0, def, 5, true);
+    rig.rf->deactivate(0, 10);
+    // Re-read after reactivation: the entry is gone.
+    Instruction use = Instruction::alu(Opcode::MOV, 8, 7);
+    rig.rf->readOperands(0, use, 20);
+    EXPECT_EQ(rig.rf->rfStats().cache_hits.value(), 0u);
+    EXPECT_EQ(rig.rf->rfStats().cache_misses.value(), 1u);
+    // The dirty value went back to the MRF.
+    EXPECT_GE(rig.rf->rfStats().writeback_regs.value(), 1u);
+}
+
+TEST(PrefetchRf, PrefetchLoadsWorkingSetOnce)
+{
+    Rig rig(RfDesign::LTRF);
+    rig.rf->activate(0, 0);
+    BlockId header = rig.cw.analysis.intervals[0].header;
+    Cycle done = rig.rf->prefetch(0, header, rig.headerPrefetch(), 10);
+    EXPECT_GT(done, 10u);
+    EXPECT_EQ(rig.rf->rfStats().prefetch_ops.value(), 1u);
+    // Re-executing the same PREFETCH (loop back edge) is free.
+    Cycle again = rig.rf->prefetch(0, header, rig.headerPrefetch(), done);
+    EXPECT_EQ(again, done);
+    EXPECT_EQ(rig.rf->rfStats().prefetch_ops.value(), 1u);
+}
+
+TEST(PrefetchRf, AllReadsHitCacheAfterPrefetch)
+{
+    // The LTRF guarantee: within an interval every register access
+    // is serviced by the register file cache.
+    Rig rig(RfDesign::LTRF);
+    rig.rf->activate(0, 0);
+    BlockId header = rig.cw.analysis.intervals[0].header;
+    Cycle t = rig.rf->prefetch(0, header, rig.headerPrefetch(), 0);
+
+    std::uint64_t main_before = rig.rf->rfStats().main_accesses.value();
+    Instruction in = Instruction::alu(Opcode::FFMA, 2, 0, 1, 2);
+    rig.rf->readOperands(0, in, t);
+    rig.rf->writeResult(0, in, t + 10, true);
+    EXPECT_EQ(rig.rf->rfStats().main_accesses.value(), main_before);
+    EXPECT_GT(rig.rf->rfStats().cache_accesses.value(), 0u);
+}
+
+TEST(PrefetchRf, DeactivateWritesBackAndReleasesSlots)
+{
+    Rig rig(RfDesign::LTRF);
+    rig.rf->activate(0, 0);
+    BlockId header = rig.cw.analysis.intervals[0].header;
+    rig.rf->prefetch(0, header, rig.headerPrefetch(), 0);
+    int ws = rig.headerPrefetch().prefetch_mask.count();
+
+    rig.rf->deactivate(0, 100);
+    // LTRF writes back the whole working set (section 3.2).
+    EXPECT_EQ(rig.rf->rfStats().writeback_regs.value(),
+              static_cast<std::uint64_t>(ws));
+
+    // Reactivation refetches it.
+    std::uint64_t xfers = rig.rf->rfStats().xfer_regs.value();
+    Cycle done = rig.rf->activate(0, 200);
+    EXPECT_GT(done, 200u);
+    EXPECT_EQ(rig.rf->rfStats().xfer_regs.value(),
+              xfers + static_cast<std::uint64_t>(ws));
+}
+
+TEST(PrefetchRf, LtrfPlusSkipsDeadRegistersOnPrefetch)
+{
+    // At kernel start all registers are dead (the liveness vector is
+    // cleared), so LTRF+'s first PREFETCH allocates space without
+    // fetching anything, while LTRF fetches the full working set.
+    Rig plus(RfDesign::LTRF_PLUS);
+    Rig base(RfDesign::LTRF);
+    plus.rf->activate(0, 0);
+    base.rf->activate(0, 0);
+    BlockId hp = plus.cw.analysis.intervals[0].header;
+    BlockId hb = base.cw.analysis.intervals[0].header;
+    plus.rf->prefetch(0, hp, plus.headerPrefetch(), 0);
+    base.rf->prefetch(0, hb, base.headerPrefetch(), 0);
+    EXPECT_LT(plus.rf->rfStats().xfer_regs.value(),
+              base.rf->rfStats().xfer_regs.value());
+}
+
+TEST(PrefetchRf, LtrfPlusWritesBackOnlyLiveRegisters)
+{
+    Rig rig(RfDesign::LTRF_PLUS);
+    rig.rf->activate(0, 0);
+    BlockId header = rig.cw.analysis.intervals[0].header;
+    Cycle t = rig.rf->prefetch(0, header, rig.headerPrefetch(), 0);
+
+    // Make exactly one register live.
+    Instruction def = Instruction::alu(Opcode::MOV, 0);
+    rig.rf->writeResult(0, def, t, true);
+
+    rig.rf->deactivate(0, t + 10);
+    EXPECT_EQ(rig.rf->rfStats().writeback_regs.value(), 1u);
+}
+
+TEST(PrefetchRf, DeadOperandBitKillsRegister)
+{
+    Rig rig(RfDesign::LTRF_PLUS);
+    rig.rf->activate(0, 0);
+    BlockId header = rig.cw.analysis.intervals[0].header;
+    Cycle t = rig.rf->prefetch(0, header, rig.headerPrefetch(), 0);
+
+    Instruction def = Instruction::alu(Opcode::MOV, 0);
+    rig.rf->writeResult(0, def, t, true);
+    // Read r0 with the dead bit set: it dies.
+    Instruction last_use = Instruction::alu(Opcode::MOV, 1, 0);
+    last_use.src_dead[0] = true;
+    rig.rf->readOperands(0, last_use, t + 5);
+    // r1 write makes it live; r0 is now dead.
+    rig.rf->writeResult(0, last_use, t + 15, true);
+
+    rig.rf->deactivate(0, t + 20);
+    EXPECT_EQ(rig.rf->rfStats().writeback_regs.value(), 1u);  // r1 only
+}
+
+TEST(PrefetchRf, ShrfReadsUncachedFromMainRf)
+{
+    // SHRF only caches registers defined inside the strand;
+    // registers from other strands read the main register file.
+    KernelBuilder b("shrf");
+    b.mov(0);
+    b.load(1, 0, 0);     // strand split after this load
+    b.iadd(2, 0, 1);     // r0 defined in strand 0, read in strand 1
+    Kernel k = b.build();
+
+    SimConfig cfg;
+    cfg.design = RfDesign::SHRF;
+    CompiledWorkload cw = compileWorkload(k, cfg, 1);
+    auto rf = makeRegFileSystem(cfg, cw, 8);
+    rf->activate(0, 0);
+
+    // Enter the second strand (holding the IADD).
+    IntervalId itv2 = UNKNOWN_INTERVAL;
+    BlockId bb2 = INVALID_BLOCK;
+    for (const auto &bb : cw.analysis.kernel.blocks)
+        for (const auto &in : bb.instrs)
+            if (in.op == Opcode::IADD) {
+                itv2 = cw.analysis.block_interval[bb.id];
+                bb2 = cw.analysis.intervals[itv2].header;
+            }
+    ASSERT_NE(itv2, UNKNOWN_INTERVAL);
+    const Instruction &pf =
+            cw.analysis.kernel.block(bb2).instrs.front();
+    ASSERT_EQ(pf.op, Opcode::PREFETCH);
+    Cycle t = rf->prefetch(0, bb2, pf, 0);
+
+    Instruction iadd = Instruction::alu(Opcode::IADD, 2, 0, 1);
+    std::uint64_t main_before = rf->rfStats().main_accesses.value();
+    rf->readOperands(0, iadd, t);
+    // At least one source (r0, defined in the other strand) went to
+    // the main register file.
+    EXPECT_GT(rf->rfStats().main_accesses.value(), main_before);
+    EXPECT_GT(rf->rfStats().cache_misses.value(), 0u);
+}
+
+TEST(RegFileSystemDeath, LtrfNonResidentReadPanics)
+{
+    // Reading a register outside the prefetched working set under
+    // LTRF violates the design's core guarantee and must panic.
+    Rig rig(RfDesign::LTRF);
+    rig.rf->activate(0, 0);
+    Instruction in = Instruction::alu(Opcode::MOV, 1, 0);
+    EXPECT_DEATH(rig.rf->readOperands(0, in, 0), "non-resident");
+}
+
+TEST(RegFileSystem, FactoryMatchesDesign)
+{
+    for (RfDesign d : {RfDesign::BL, RfDesign::RFC, RfDesign::SHRF,
+                       RfDesign::LTRF_STRAND, RfDesign::LTRF,
+                       RfDesign::LTRF_PLUS, RfDesign::IDEAL}) {
+        SimConfig cfg;
+        cfg.design = d;
+        CompiledWorkload cw = compileWorkload(loopKernel(), cfg, 1);
+        auto rf = makeRegFileSystem(cfg, cw, 4);
+        EXPECT_NE(rf, nullptr);
+    }
+}

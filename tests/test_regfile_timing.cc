@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the banked register file timing models (MainRegFile and
+ * RegCache).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/main_regfile.hh"
+#include "core/reg_cache.hh"
+
+using namespace ltrf;
+
+TEST(MainRegFile, LatencyAndPipelining)
+{
+    MainRegFile mrf(16, 10);
+    // First access to a bank returns after the latency.
+    EXPECT_EQ(mrf.access(0, 0, 100), 110u);
+    // A different bank is independent.
+    EXPECT_EQ(mrf.access(0, 1, 100), 110u);
+    // Same bank next cycle: pipelined, one new access per cycle.
+    EXPECT_EQ(mrf.access(0, 16, 101), 111u);
+    EXPECT_EQ(mrf.accesses(), 3u);
+}
+
+TEST(MainRegFile, SameCycleBankConflictSerializes)
+{
+    MainRegFile mrf(16, 4);
+    Cycle a = mrf.access(0, 0, 50);
+    Cycle b = mrf.access(0, 16, 50);  // same bank (0+16)%16 == 0
+    EXPECT_EQ(a, 54u);
+    EXPECT_EQ(b, 55u);               // started one cycle later
+    EXPECT_GT(mrf.conflictCycles(), 0u);
+}
+
+TEST(MainRegFile, BankInterleavingByWarpAndReg)
+{
+    MainRegFile mrf(16, 2);
+    // Consecutive registers of one warp land in consecutive banks.
+    for (int r = 0; r < 16; r++)
+        EXPECT_EQ(mrf.bankOf(0, static_cast<RegId>(r)), r);
+    // Different warps shift the mapping.
+    EXPECT_EQ(mrf.bankOf(1, 0), 1);
+    EXPECT_EQ(mrf.bankOf(5, 11), 0);
+}
+
+TEST(MainRegFile, RecordWriteCountsWithoutBlocking)
+{
+    MainRegFile mrf(16, 8);
+    mrf.recordWrite(0, 0);
+    EXPECT_EQ(mrf.accesses(), 1u);
+    // The write did not occupy the bank: a read at cycle 0 is
+    // unaffected.
+    EXPECT_EQ(mrf.access(0, 0, 0), 8u);
+}
+
+TEST(RegCache, FastPipelinedAccess)
+{
+    RegCache cache(16, 1);
+    EXPECT_EQ(cache.access(3, 10), 11u);
+    EXPECT_EQ(cache.access(3, 11), 12u);
+    // Same bank, same cycle: second access slips one cycle.
+    Cycle a = cache.access(5, 20);
+    Cycle b = cache.access(5, 20);
+    EXPECT_EQ(a, 21u);
+    EXPECT_EQ(b, 22u);
+}
+
+TEST(RegCache, AccessCounting)
+{
+    RegCache cache(8, 1);
+    cache.access(0, 0);
+    cache.recordWrite();
+    EXPECT_EQ(cache.accesses(), 2u);
+}
+
+TEST(RegCacheDeath, BadBankPanics)
+{
+    RegCache cache(8, 1);
+    EXPECT_DEATH(cache.access(8, 0), "bad cache bank");
+}
+
+/** Property: under random traffic, per-bank issue times are strictly
+ *  increasing (one access per cycle per bank). */
+class MrfProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(MrfProperty, BankIssueTimesMonotonic)
+{
+    MainRegFile mrf(16, 3 + GetParam() % 5);
+    std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+    Cycle now = 0;
+    std::vector<Cycle> last_done(16, 0);
+    for (int i = 0; i < 200; i++) {
+        seed = seed * 6364136223846793005ull + 1;
+        WarpId w = static_cast<WarpId>(seed % 8);
+        RegId r = static_cast<RegId>((seed >> 8) % 32);
+        now += seed % 3;
+        Cycle done = mrf.access(w, r, now);
+        int bank = mrf.bankOf(w, r);
+        EXPECT_GT(done, last_done[bank]);
+        EXPECT_GE(done, now + mrf.latency());
+        last_done[bank] = done;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MrfProperty, ::testing::Range(0, 8));

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Determinism and distribution sanity tests for the RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+using namespace ltrf;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        if (a.next() == b.next())
+            same++;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), r.next());
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; i++) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BoolProbabilityRoughlyCorrect)
+{
+    Rng r(11);
+    int heads = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++)
+        if (r.nextBool(0.3))
+            heads++;
+    double frac = static_cast<double>(heads) / n;
+    EXPECT_NEAR(frac, 0.3, 0.02);
+}
+
+TEST(Rng, MixSeedsSpreads)
+{
+    // Derived per-warp seeds must differ for neighbouring warps.
+    auto s0 = mixSeeds(42, 0);
+    auto s1 = mixSeeds(42, 1);
+    auto s2 = mixSeeds(43, 0);
+    EXPECT_NE(s0, s1);
+    EXPECT_NE(s0, s2);
+    EXPECT_NE(s1, s2);
+}

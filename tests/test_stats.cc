@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unit tests for the statistics registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+using namespace ltrf;
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c++;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, GroupLookup)
+{
+    StatGroup g("sm0");
+    Counter a, b;
+    g.add("issued", &a);
+    g.add("stalls", &b);
+    a += 10;
+    b += 3;
+    EXPECT_EQ(g.value("issued"), 10u);
+    EXPECT_EQ(g.value("stalls"), 3u);
+    EXPECT_TRUE(g.has("issued"));
+    EXPECT_FALSE(g.has("nonexistent"));
+}
+
+TEST(Stats, ResetAll)
+{
+    StatGroup g("g");
+    Counter a, b;
+    g.add("a", &a);
+    g.add("b", &b);
+    a += 4;
+    b += 2;
+    g.resetAll();
+    EXPECT_EQ(g.value("a"), 0u);
+    EXPECT_EQ(g.value("b"), 0u);
+}
+
+TEST(Stats, DumpFormat)
+{
+    StatGroup g("core");
+    Counter a;
+    g.add("cycles", &a);
+    a += 42;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "core.cycles 42\n");
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for strand formation (the SHRF / LTRF(strand) baselines,
+ * paper section 6.6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/register_interval.hh"
+#include "isa/kernel_builder.hh"
+
+using namespace ltrf;
+
+TEST(Strand, SplitsAfterGlobalLoad)
+{
+    // A global load mid-block terminates the strand; the remainder
+    // of the block must land in a different strand.
+    KernelBuilder b("memsplit");
+    b.mov(0);
+    b.load(1, 0, 0);
+    b.iadd(2, 1, 1);
+    Kernel k = b.build();
+    IntervalAnalysis ia = formStrands(k, 16);
+    EXPECT_GT(ia.intervals.size(), 1u);
+    // The instruction after the load is in a different strand.
+    // Find the block holding the IADD in the transformed kernel.
+    IntervalId load_itv = UNKNOWN_INTERVAL, add_itv = UNKNOWN_INTERVAL;
+    for (const auto &bb : ia.kernel.blocks) {
+        for (const auto &in : bb.instrs) {
+            if (in.op == Opcode::LD_GLOBAL)
+                load_itv = ia.block_interval[bb.id];
+            if (in.op == Opcode::IADD)
+                add_itv = ia.block_interval[bb.id];
+        }
+    }
+    ASSERT_NE(load_itv, UNKNOWN_INTERVAL);
+    ASSERT_NE(add_itv, UNKNOWN_INTERVAL);
+    EXPECT_NE(load_itv, add_itv);
+}
+
+TEST(Strand, SharedMemoryDoesNotSplit)
+{
+    // Shared-memory accesses have fixed latency; they are not
+    // long/variable-latency and must not terminate a strand.
+    KernelBuilder b("shared");
+    b.mov(0);
+    b.sharedLoad(1, 0);
+    b.iadd(2, 1, 1);
+    Kernel k = b.build();
+    IntervalAnalysis ia = formStrands(k, 16);
+    EXPECT_EQ(ia.intervals.size(), 1u);
+}
+
+TEST(Strand, MoreStrandsThanIntervals)
+{
+    // On a loop with memory accesses, strands are strictly more
+    // numerous than register-intervals (the paper's reason LTRF
+    // (strand) tolerates less latency, section 6.6).
+    KernelBuilder b("loopy");
+    b.mov(0);
+    b.beginLoop(8);
+    b.load(1, 0, 0);
+    b.ffma(2, 1, 1, 2);
+    b.store(2, 0, 0);
+    b.endLoop();
+    Kernel k = b.build();
+
+    size_t strands = formStrands(k, 16).intervals.size();
+    FormationOptions o;
+    o.max_regs = 16;
+    size_t intervals = formRegisterIntervals(k, o).intervals.size();
+    EXPECT_GT(strands, intervals);
+}
+
+TEST(Strand, WorkingSetsRespectN)
+{
+    KernelBuilder b("k");
+    for (int i = 0; i < 30; i += 3) {
+        b.iadd(i + 2, i, i + 1);
+        if (i % 6 == 0)
+            b.load(i, i + 1, 0);
+    }
+    Kernel k = b.build();
+    for (int n : {8, 16}) {
+        IntervalAnalysis ia = formStrands(k, n);
+        ia.validate(n);
+        for (const auto &iv : ia.intervals)
+            EXPECT_LE(iv.working_set.count(), n);
+    }
+}
+
+TEST(Strand, NoPass2Merging)
+{
+    KernelBuilder b("k");
+    b.mov(0);
+    b.beginLoop(4);
+    b.iadd(1, 0, 1);
+    b.endLoop();
+    Kernel k = b.build();
+    IntervalAnalysis ia = formStrands(k, 16);
+    EXPECT_EQ(ia.pass2_rounds, 0);
+    EXPECT_EQ(static_cast<int>(ia.intervals.size()),
+              ia.intervals_after_pass1);
+}

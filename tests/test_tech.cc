@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the Table 2 configuration table and the energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "tech/energy_model.hh"
+#include "tech/rf_config.hh"
+
+using namespace ltrf;
+
+TEST(RfConfigTable, MatchesPaperTable2)
+{
+    ASSERT_EQ(rfConfigTable().size(), 7u);
+    const RfConfig &c1 = rfConfig(1);
+    EXPECT_EQ(c1.tech, CellTech::HP_SRAM);
+    EXPECT_DOUBLE_EQ(c1.latency, 1.0);
+    EXPECT_DOUBLE_EQ(c1.capacity, 1.0);
+
+    const RfConfig &c6 = rfConfig(6);
+    EXPECT_EQ(c6.tech, CellTech::TFET_SRAM);
+    EXPECT_DOUBLE_EQ(c6.capacity, 8.0);
+    EXPECT_DOUBLE_EQ(c6.power, 1.05);
+    EXPECT_DOUBLE_EQ(c6.latency, 5.3);
+
+    const RfConfig &c7 = rfConfig(7);
+    EXPECT_EQ(c7.tech, CellTech::DWM);
+    EXPECT_DOUBLE_EQ(c7.area, 0.25);
+    EXPECT_DOUBLE_EQ(c7.cap_per_area, 32.0);
+    EXPECT_DOUBLE_EQ(c7.latency, 6.3);
+}
+
+TEST(RfConfigTable, LatencyGrowsWithDensityTradeoff)
+{
+    // The paper's key observation: denser/cheaper designs are slower.
+    EXPECT_LT(rfConfig(1).latency, rfConfig(4).latency);
+    EXPECT_LT(rfConfig(4).latency, rfConfig(6).latency);
+    EXPECT_LT(rfConfig(6).latency, rfConfig(7).latency);
+    EXPECT_GT(rfConfig(7).cap_per_power, rfConfig(1).cap_per_power);
+}
+
+TEST(RfConfigTable, ApplyToSimConfig)
+{
+    SimConfig cfg;
+    applyRfConfig(cfg, rfConfig(7));
+    EXPECT_EQ(cfg.rf_capacity_mult, 8);
+    EXPECT_DOUBLE_EQ(cfg.mrf_latency_mult, 6.3);
+    EXPECT_EQ(cfg.num_mrf_banks, 128);
+
+    applyRfConfig(cfg, rfConfig(2));
+    EXPECT_EQ(cfg.num_mrf_banks, 16);   // 8x bank *size*, not count
+}
+
+TEST(GenerationTable, PascalRegisterFileDominates)
+{
+    const auto &gens = generationMemoryTable();
+    ASSERT_EQ(gens.size(), 4u);
+    const GenerationMemory &pascal = gens.back();
+    EXPECT_STREQ(pascal.name, "Pascal");
+    EXPECT_DOUBLE_EQ(pascal.rf_mb, 14.3);
+    EXPECT_GT(pascal.rfFraction(), 0.6);   // ">60% of on-chip storage"
+    // Register file capacity grows monotonically per generation.
+    for (size_t i = 1; i < gens.size(); i++)
+        EXPECT_GT(gens[i].rf_mb, gens[i - 1].rf_mb);
+}
+
+TEST(EnergyModel, BaselineNormalizesToOne)
+{
+    RfActivity act;
+    act.main_accesses_per_cycle = 3.0;
+    double p = rfPower(rfConfig(1), act, false, 3.0);
+    EXPECT_NEAR(p, 1.0, 1e-9);
+}
+
+TEST(EnergyModel, PowerScalesWithActivity)
+{
+    RfActivity half;
+    half.main_accesses_per_cycle = 1.5;
+    double p = rfPower(rfConfig(1), half, false, 3.0);
+    // Leakage fraction + half the dynamic share.
+    EXPECT_NEAR(p, 0.4 + 0.6 / 2, 1e-9);
+}
+
+TEST(EnergyModel, FewerMainAccessesCutDwmPower)
+{
+    // LTRF's raison d'etre for Figure 10: 4-6x fewer main RF
+    // accesses on configuration #7 cuts power well below baseline
+    // even after paying for cache, WCB, and transfers.
+    RfActivity bl;
+    bl.main_accesses_per_cycle = 3.0;
+    RfActivity ltrf;
+    ltrf.main_accesses_per_cycle = 0.6;   // 5x reduction
+    ltrf.cache_accesses_per_cycle = 3.0;
+    ltrf.wcb_accesses_per_cycle = 2.0;
+    ltrf.xfer_regs_per_cycle = 0.5;
+    double p_bl = rfPower(rfConfig(7), bl, false, 3.0);
+    double p_ltrf = rfPower(rfConfig(7), ltrf, true, 3.0);
+    EXPECT_LT(p_ltrf, p_bl);
+    EXPECT_LT(p_ltrf, 1.0);
+}
+
+TEST(EnergyModel, CacheStructuresAddPower)
+{
+    RfActivity act;
+    act.main_accesses_per_cycle = 1.0;
+    double without = rfPower(rfConfig(7), act, false, 3.0);
+    double with = rfPower(rfConfig(7), act, true, 3.0);
+    EXPECT_GT(with, without);
+}
+
+TEST(EnergyModel, LeakageFractionsOrdered)
+{
+    // HP SRAM leaks the most; the emerging technologies exist
+    // because their standby power is tiny.
+    EXPECT_GT(leakageFraction(CellTech::HP_SRAM),
+              leakageFraction(CellTech::LSTP_SRAM));
+    EXPECT_GT(leakageFraction(CellTech::LSTP_SRAM),
+              leakageFraction(CellTech::TFET_SRAM));
+    EXPECT_GT(leakageFraction(CellTech::TFET_SRAM),
+              leakageFraction(CellTech::DWM));
+}

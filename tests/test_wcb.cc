@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the Warp Control Block (paper Figure 7, section 4.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/wcb.hh"
+
+using namespace ltrf;
+
+TEST(Wcb, StorageCostMatchesPaper)
+{
+    // 256 x 5-bit address table + 3-bit warp offset + two 256-bit
+    // vectors; 64 warps -> 114880 bits per SM (section 4.3).
+    EXPECT_EQ(Wcb::bitsPerWarp(), 1795);
+    EXPECT_EQ(64 * Wcb::bitsPerWarp(), 114880);
+}
+
+TEST(Wcb, EntryLifecycle)
+{
+    Wcb wcb;
+    EXPECT_FALSE(wcb.resident(5));
+    wcb.setEntry(5, 3);
+    EXPECT_TRUE(wcb.resident(5));
+    EXPECT_EQ(wcb.bank(5), 3);
+    EXPECT_EQ(wcb.clearEntry(5), 3);
+    EXPECT_FALSE(wcb.resident(5));
+}
+
+TEST(Wcb, ResidentSetTracksEntries)
+{
+    Wcb wcb;
+    wcb.setEntry(0, 0);
+    wcb.setEntry(100, 7);
+    wcb.setEntry(255, 15);
+    EXPECT_EQ(wcb.residentSet().count(), 3);
+    EXPECT_TRUE(wcb.residentSet().test(100));
+    wcb.clearEntry(100);
+    EXPECT_EQ(wcb.residentSet().count(), 2);
+}
+
+TEST(Wcb, LivenessVectorStartsDead)
+{
+    // Paper section 3.2: the liveness vector is cleared when a warp
+    // starts executing.
+    Wcb wcb;
+    for (int r = 0; r < MAX_ARCH_REGS; r += 17)
+        EXPECT_FALSE(wcb.live(static_cast<RegId>(r)));
+    wcb.markLive(9);
+    EXPECT_TRUE(wcb.live(9));
+    wcb.markDead(9);
+    EXPECT_FALSE(wcb.live(9));
+}
+
+TEST(Wcb, WorkingSetVector)
+{
+    Wcb wcb;
+    RegBitVec ws{1, 2, 3};
+    wcb.setWorkingSet(ws);
+    EXPECT_EQ(wcb.workingSet(), ws);
+}
+
+TEST(Wcb, ResetClearsEverything)
+{
+    Wcb wcb;
+    wcb.setEntry(7, 2);
+    wcb.markLive(7);
+    wcb.setWarpOffset(5);
+    wcb.reset();
+    EXPECT_FALSE(wcb.resident(7));
+    EXPECT_FALSE(wcb.live(7));
+    EXPECT_EQ(wcb.warpOffset(), -1);
+    EXPECT_TRUE(wcb.workingSet().empty());
+}
+
+TEST(WcbDeath, LookupOfNonResidentPanics)
+{
+    Wcb wcb;
+    EXPECT_DEATH(wcb.bank(3), "non-resident");
+    EXPECT_DEATH(wcb.clearEntry(3), "non-resident");
+}

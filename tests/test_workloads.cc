@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the 14-workload suite: structure, register demand
+ * classes, and compilability under every design.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/cfg_analysis.hh"
+#include "compiler/trace_gen.hh"
+#include "core/compile.hh"
+#include "workloads/workload.hh"
+
+using namespace ltrf;
+
+TEST(WorkloadSuite, FourteenWorkloadsNineSensitive)
+{
+    EXPECT_EQ(WorkloadSuite::all().size(), 14u);
+    EXPECT_EQ(WorkloadSuite::sensitive().size(), 9u);
+    EXPECT_EQ(WorkloadSuite::insensitive().size(), 5u);
+}
+
+TEST(WorkloadSuite, PaperNamedWorkloadsPresent)
+{
+    // btree and kmeans are explicitly named register-insensitive in
+    // the paper (section 6.1).
+    EXPECT_FALSE(WorkloadSuite::byName("btree").register_sensitive);
+    EXPECT_FALSE(WorkloadSuite::byName("kmeans").register_sensitive);
+    EXPECT_TRUE(WorkloadSuite::byName("sgemm").register_sensitive);
+    EXPECT_TRUE(WorkloadSuite::byName("lavaMD").register_sensitive);
+}
+
+TEST(WorkloadSuite, RegisterDemandClasses)
+{
+    for (const Workload &w : WorkloadSuite::all()) {
+        if (w.register_sensitive) {
+            // Demands above 2048/64=32 so capacity limits occupancy.
+            EXPECT_GT(w.kernel.reg_demand, 32) << w.name;
+        } else {
+            EXPECT_LE(w.kernel.reg_demand, 32) << w.name;
+        }
+    }
+}
+
+TEST(WorkloadSuite, AllKernelsValidateAndAreReducible)
+{
+    for (const Workload &w : WorkloadSuite::all()) {
+        w.kernel.validate();
+        CfgInfo info = analyzeCfg(w.kernel);
+        EXPECT_TRUE(info.reducible) << w.name;
+        EXPECT_FALSE(info.loops.empty()) << w.name;
+    }
+}
+
+TEST(WorkloadSuite, TracesTerminateAtReasonableLength)
+{
+    for (const Workload &w : WorkloadSuite::all()) {
+        WarpTrace t = generateTrace(w.kernel, 5);
+        EXPECT_FALSE(t.truncated) << w.name;
+        EXPECT_GT(t.real_instrs, 200u) << w.name;
+        EXPECT_LT(t.real_instrs, 50000u) << w.name;
+    }
+}
+
+TEST(WorkloadSuite, UniqueNames)
+{
+    std::set<std::string> names;
+    for (const Workload &w : WorkloadSuite::all())
+        EXPECT_TRUE(names.insert(w.name).second) << w.name;
+}
+
+/** Every workload compiles under every design. */
+class SuiteCompileProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(SuiteCompileProperty, CompilesCleanly)
+{
+    auto [di, wi] = GetParam();
+    const Workload &w = WorkloadSuite::all()[static_cast<size_t>(wi)];
+    SimConfig cfg;
+    cfg.design = static_cast<RfDesign>(di);
+    CompiledWorkload cw = compileWorkload(w.kernel, cfg, 3);
+    cw.kernel().validate();
+    if (usesPrefetch(cfg.design) || cfg.design == RfDesign::SHRF) {
+        cw.analysis.validate(cfg.regs_per_interval);
+        EXPECT_GT(cw.code_size.num_prefetch_ops, 0);
+    }
+    if (cfg.design == RfDesign::LTRF ||
+        cfg.design == RfDesign::LTRF_PLUS) {
+        // The paper reports ~7%/9% code growth for register-interval
+        // PREFETCHes; allow a generous band. (Strand designs place
+        // one PREFETCH per strand and legitimately bloat more.)
+        EXPECT_LT(cw.code_size.instrOverhead(), 0.60) << w.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+        Sweep, SuiteCompileProperty,
+        ::testing::Combine(::testing::Range(0, 7),
+                           ::testing::Range(0, 14)));
