@@ -16,10 +16,14 @@
 
 #include <cmath>
 #include <cstdio>
-#include <map>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
+#include "harness/baseline_cache.hh"
+#include "harness/result_set.hh"
 #include "sim/gpu.hh"
 #include "tech/rf_config.hh"
 #include "workloads/workload.hh"
@@ -72,41 +76,81 @@ run(const Workload &w, const SimConfig &cfg)
     return simulate(cfg, w.kernel, BENCH_SEED);
 }
 
+/**
+ * The process-wide baseline cache all harnesses share. A
+ * function-local static BaselineCache replaces the old bare
+ * `static std::map` here: C++ guarantees the initialization is
+ * thread-safe, and the cache itself serializes lookups with a mutex
+ * while computing each workload's baseline exactly once — safe for
+ * cells running on the ExperimentRunner's thread pool.
+ */
+inline harness::BaselineCache &
+globalBaselineCache()
+{
+    static harness::BaselineCache cache(baselineConfig(), BENCH_SEED);
+    return cache;
+}
+
 /** Cached baseline IPCs per workload (they never change). */
 inline double
 baselineIpc(const Workload &w)
 {
-    static std::map<std::string, double> cache;
-    auto it = cache.find(w.name);
-    if (it != cache.end())
-        return it->second;
-    double ipc = run(w, baselineConfig()).ipc;
-    cache[w.name] = ipc;
-    return ipc;
+    return globalBaselineCache().ipc(w);
+}
+
+/**
+ * Parse a `--jobs N` flag for harness mains; 0 (the default) lets
+ * the ExperimentRunner pick the hardware concurrency. fatal() on a
+ * missing or malformed value — silently running unbounded on a
+ * shared machine is worse than stopping.
+ */
+inline int
+jobsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--jobs") != 0)
+            continue;
+        if (i + 1 >= argc)
+            ltrf_fatal("--jobs needs a value");
+        char *end = nullptr;
+        long n = std::strtol(argv[i + 1], &end, 10);
+        if (end == argv[i + 1] || *end != '\0' || n < 0)
+            ltrf_fatal("bad --jobs value \"%s\" (expected 0 for "
+                       "hardware concurrency, or a positive count)",
+                       argv[i + 1]);
+        return static_cast<int>(n);
+    }
+    return 0;
+}
+
+/**
+ * The sweep skeleton every suite-wide harness shares: all 14
+ * workloads at BENCH_SMS SMs with BENCH_SEED. Callers fill in
+ * designs / rf_cfg_ids / latency_mults.
+ */
+inline harness::SweepSpec
+suiteSpec()
+{
+    harness::SweepSpec spec;
+    for (const Workload &w : WorkloadSuite::all())
+        spec.workloads.push_back(w.name);
+    spec.num_sms = BENCH_SMS;
+    spec.seed = BENCH_SEED;
+    return spec;
 }
 
 /** Arithmetic mean. */
 inline double
 mean(const std::vector<double> &v)
 {
-    if (v.empty())
-        return 0.0;
-    double s = 0.0;
-    for (double x : v)
-        s += x;
-    return s / static_cast<double>(v.size());
+    return harness::ResultSet::mean(v);
 }
 
 /** Geometric mean (the paper reports IPC means geometrically). */
 inline double
 geomean(const std::vector<double> &v)
 {
-    if (v.empty())
-        return 0.0;
-    double s = 0.0;
-    for (double x : v)
-        s += std::log(x);
-    return std::exp(s / static_cast<double>(v.size()));
+    return harness::ResultSet::geomean(v);
 }
 
 /** Print a table header: workload column plus per-series columns. */

@@ -15,12 +15,19 @@
  *
  * The latency multiplier is swept at 0.5x granularity from 1x to 7x
  * (capacity held constant) and the threshold crossing is linearly
- * interpolated. Pass --fast for a 1x-step sweep.
+ * interpolated. Pass --fast for a 1x-step sweep and --jobs N to
+ * bound the worker count.
+ *
+ * The whole (workload x design x multiplier) grid runs once on the
+ * ExperimentRunner thread pool; the three loss thresholds are then
+ * evaluated against the same grid, where the old serial harness
+ * re-simulated the sweep per threshold.
  */
 
 #include <cstring>
 
 #include "bench_util.hh"
+#include "harness/runner.hh"
 
 using namespace ltrf;
 using namespace ltrf::bench;
@@ -37,15 +44,12 @@ sweepLatencies(bool fast)
     return mults;
 }
 
-/** IPC of @p d on @p w at latency @p mult (capacity unchanged). */
+/** IPC of @p d on @p w at latency @p mult, from the sweep grid. */
 double
-ipcAt(const Workload &w, RfDesign d, double mult)
+ipcAt(const harness::ResultSet &rs, const Workload &w, RfDesign d,
+      double mult)
 {
-    SimConfig cfg;
-    cfg.num_sms = BENCH_SMS;
-    cfg.design = d;
-    cfg.mrf_latency_mult = mult;
-    return run(w, cfg).ipc;
+    return rs.find(w.name, d, 0, mult).result.ipc;
 }
 
 /**
@@ -53,18 +57,18 @@ ipcAt(const Workload &w, RfDesign d, double mult)
  * interpolated between sweep points; clamped to the sweep range.
  */
 double
-maxTolerable(const Workload &w, RfDesign d,
+maxTolerable(const harness::ResultSet &rs, const Workload &w, RfDesign d,
              const std::vector<double> &mults, double threshold)
 {
     double prev_m = mults.front();
-    double prev_ipc = ipcAt(w, d, prev_m);
+    double prev_ipc = ipcAt(rs, w, d, prev_m);
     // Self-normalized: the design's own 1x-latency IPC is the
     // reference the 5% loss is measured against.
     double base = prev_ipc * threshold;
     double last_ok = mults.front();
     for (size_t i = 1; i < mults.size(); i++) {
         double m = mults[i];
-        double ipc = ipcAt(w, d, m);
+        double ipc = ipcAt(rs, w, d, m);
         if (ipc >= base) {
             last_ok = m;
         } else {
@@ -94,6 +98,13 @@ main(int argc, char **argv)
                                            RfDesign::LTRF,
                                            RfDesign::LTRF_PLUS};
 
+    harness::SweepSpec spec = suiteSpec();
+    spec.designs = designs;
+    spec.latency_mults = mults;
+
+    harness::ExperimentRunner runner(jobsFromArgs(argc, argv));
+    harness::ResultSet rs = runner.run(harness::expandSweep(spec));
+
     std::printf("Figure 11: maximum tolerable register file access "
                 "latency (5%% IPC loss)\n\n");
     std::vector<std::string> names;
@@ -105,7 +116,7 @@ main(int argc, char **argv)
     for (const Workload &w : WorkloadSuite::all()) {
         std::vector<double> row;
         for (size_t i = 0; i < designs.size(); i++) {
-            double m = maxTolerable(w, designs[i], mults, 0.95);
+            double m = maxTolerable(rs, w, designs[i], mults, 0.95);
             row.push_back(m);
             cols[i].push_back(m);
         }
@@ -122,7 +133,7 @@ main(int argc, char **argv)
         for (size_t i = 0; i < designs.size(); i++) {
             std::vector<double> v;
             for (const Workload &w : WorkloadSuite::all())
-                v.push_back(maxTolerable(w, designs[i], mults, thr));
+                v.push_back(maxTolerable(rs, w, designs[i], mults, thr));
             ms.push_back(mean(v));
         }
         std::printf("\nMean with %2.0f%% allowable loss:", (1 - thr) * 100);

@@ -7,12 +7,15 @@
  * #1 with 16KB extra register file capacity.
  *
  * Run with --config to also dump the simulated system configuration
- * (paper Table 3).
+ * (paper Table 3). All (workload, design, configuration) cells run
+ * on the ExperimentRunner thread pool; --jobs N bounds the worker
+ * count (default: hardware concurrency).
  */
 
 #include <cstring>
 
 #include "bench_util.hh"
+#include "harness/runner.hh"
 
 using namespace ltrf;
 using namespace ltrf::bench;
@@ -42,13 +45,13 @@ printTable3()
     std::printf("  Scheduler                    two-level\n\n");
 }
 
-void
-runConfig(int rf_cfg_id)
-{
-    const std::vector<RfDesign> designs = {
-            RfDesign::BL, RfDesign::RFC, RfDesign::LTRF,
-            RfDesign::LTRF_PLUS, RfDesign::IDEAL};
+const std::vector<RfDesign> DESIGNS = {
+        RfDesign::BL, RfDesign::RFC, RfDesign::LTRF,
+        RfDesign::LTRF_PLUS, RfDesign::IDEAL};
 
+void
+printConfig(const harness::ResultSet &rs, int rf_cfg_id)
+{
     std::printf("Figure 9(%s): normalized IPC, main register file = "
                 "configuration #%d (%s, %.1fx capacity, %.1fx latency)\n",
                 rf_cfg_id == 6 ? "a" : "b", rf_cfg_id,
@@ -57,26 +60,20 @@ runConfig(int rf_cfg_id)
                 rfConfig(rf_cfg_id).latency);
 
     std::vector<std::string> names;
-    for (RfDesign d : designs)
+    for (RfDesign d : DESIGNS)
         names.push_back(rfDesignName(d));
     printHeader(names);
 
-    std::vector<std::vector<double>> per_design(designs.size());
     for (const Workload &w : WorkloadSuite::all()) {
-        double base = baselineIpc(w);
         std::vector<double> row;
-        for (size_t i = 0; i < designs.size(); i++) {
-            SimConfig cfg = designConfig(designs[i], rf_cfg_id);
-            double norm = run(w, cfg).ipc / base;
-            row.push_back(norm);
-            per_design[i].push_back(norm);
-        }
+        for (RfDesign d : DESIGNS)
+            row.push_back(rs.find(w.name, d, rf_cfg_id).normalizedIpc());
         printRow(w.name + (w.register_sensitive ? " [S]" : " [I]"), row);
     }
 
     std::vector<double> means;
-    for (auto &v : per_design)
-        means.push_back(geomean(v));
+    for (RfDesign d : DESIGNS)
+        means.push_back(rs.geomeanNormalized(d, rf_cfg_id));
     printRow("GEOMEAN", means);
     std::printf("\n");
 }
@@ -90,8 +87,16 @@ main(int argc, char **argv)
         if (std::strcmp(argv[i], "--config") == 0)
             printTable3();
 
-    runConfig(6);
-    runConfig(7);
+    harness::SweepSpec spec = suiteSpec();
+    spec.designs = DESIGNS;
+    spec.rf_cfg_ids = {6, 7};
+
+    harness::ExperimentRunner runner(jobsFromArgs(argc, argv));
+    harness::ResultSet rs =
+            runner.run(harness::expandSweep(spec), &globalBaselineCache());
+
+    printConfig(rs, 6);
+    printConfig(rs, 7);
 
     std::printf("Paper reference: LTRF ~= Ideal on #6 (+32%% mean IPC); "
                 "LTRF/LTRF+ +28%%/+31%% on #7;\nRFC loses ~14%% when the "

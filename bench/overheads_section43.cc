@@ -12,14 +12,25 @@
 #include "bench_util.hh"
 #include "core/compile.hh"
 #include "core/wcb.hh"
+#include "harness/runner.hh"
 
 using namespace ltrf;
 using namespace ltrf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     SimConfig cfg;
+
+    // The power analysis below compares BL and LTRF on Table 2
+    // configuration #1 per workload; run all its cells up front on
+    // the thread pool (config #1 is the identity row, so BL@#1 is
+    // exactly the normalization baseline).
+    harness::SweepSpec spec = suiteSpec();
+    spec.designs = {RfDesign::BL, RfDesign::LTRF};
+    spec.rf_cfg_ids = {1};
+    harness::ExperimentRunner runner(jobsFromArgs(argc, argv));
+    harness::ResultSet rs = runner.run(harness::expandSweep(spec));
 
     // ----- Code size -----
     std::printf("Code size overhead of PREFETCH operations\n");
@@ -71,12 +82,13 @@ main()
     std::printf("Power at iso-technology (configuration #1)\n");
     double ratio_sum = 0, access_ratio_sum = 0;
     for (const Workload &w : WorkloadSuite::all()) {
-        SimResult base = run(w, baselineConfig());
+        const SimResult &base =
+                rs.find(w.name, RfDesign::BL, 1).result;
         double base_rate = base.activity.main_accesses_per_cycle;
         double base_power = rfPower(rfConfig(1), base.activity, false,
                                     base_rate);
-        SimConfig c = designConfig(RfDesign::LTRF, 1);
-        SimResult r = run(w, c);
+        const SimResult &r =
+                rs.find(w.name, RfDesign::LTRF, 1).result;
         double p = rfPower(rfConfig(1), r.activity, true, base_rate);
         ratio_sum += p / base_power;
         access_ratio_sum += base.activity.main_accesses_per_cycle /

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * `ltrf_run` — the experiment-sweep CLI driver.
+ *
+ * Exposes the harness SweepSpec on the command line so new
+ * evaluation scenarios need a flag combination, not a new .cc main:
+ *
+ *   ltrf_run --workloads bfs,btree --designs BL,LTRF --rf-config 6 \
+ *            --jobs 8 --json out.json
+ *
+ * Selector flags take comma-separated lists; --workloads also takes
+ * the selectors "all", "sensitive", and "insensitive", and
+ * --designs takes "all". Results print as a normalized-IPC table
+ * per register file configuration and can be dumped as JSON ("-"
+ * for stdout). JSON output is byte-identical for any --jobs value.
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "harness/runner.hh"
+#include "tech/rf_config.hh"
+#include "workloads/workload.hh"
+
+using namespace ltrf;
+using namespace ltrf::harness;
+
+namespace
+{
+
+constexpr const char *USAGE = R"(usage: ltrf_run [options]
+
+Sweep selection:
+  --workloads LIST   all | sensitive | insensitive | name,name,...
+                     (default: all; see --list)
+  --designs LIST     all | comma-separated register file designs:
+                     BL, RFC, SHRF, LTRF-strand, LTRF, LTRF+, Ideal
+                     (default: BL,RFC,LTRF,LTRF+,Ideal)
+  --rf-config LIST   Table 2 configuration ids 1-7; 0 keeps the
+                     baseline register file (default: 6)
+  --latency-mult L   optional comma-separated main-RF latency
+                     multipliers swept on top of each rf-config
+  --sms N            SMs to simulate (default: 4)
+  --active-warps N   active-warp pool per SM (default: Table 3)
+  --seed S           workload seed (default: 2018)
+
+Execution:
+  --jobs N           worker threads; 0 = hardware concurrency
+                     (default: 0)
+  --no-normalize     skip the baseline runs and report raw IPC
+
+Output:
+  --json PATH        write the ResultSet as JSON ("-" for stdout)
+  --quiet            suppress the result table
+  --list             list workloads and designs, then exit
+  --help             show this message
+)";
+
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    std::fprintf(stderr, "ltrf_run: %s\n\n%s", msg.c_str(), USAGE);
+    std::exit(2);
+}
+
+void
+listTargets()
+{
+    std::printf("workloads (S = register-sensitive):\n");
+    for (const Workload &w : WorkloadSuite::all())
+        std::printf("  %-16s [%c]\n", w.name.c_str(),
+                    w.register_sensitive ? 'S' : 'I');
+    std::printf("\ndesigns:\n");
+    for (RfDesign d : resolveDesigns("all"))
+        std::printf("  %s\n", rfDesignName(d));
+    std::printf("\nregister file configurations (Table 2):\n");
+    for (const RfConfig &rc : rfConfigTable())
+        std::printf("  #%d  %-9s %4.1fx capacity  %4.1fx latency\n",
+                    rc.id, cellTechName(rc.tech), rc.capacity,
+                    rc.latency);
+}
+
+struct Options
+{
+    SweepSpec spec;
+    int jobs = 0;
+    bool normalize = true;
+    bool quiet = false;
+    std::string json_path;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    std::string workloads = "all";
+    std::string designs = "BL,RFC,LTRF,LTRF+,Ideal";
+    std::string rf_configs = "6";
+    std::string latency_mults;
+
+    auto value = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            usageError(std::string(argv[i]) + " needs a value");
+        return argv[++i];
+    };
+    auto intValue = [&](int &i) {
+        std::string v = value(i);
+        char *end = nullptr;
+        long n = std::strtol(v.c_str(), &end, 10);
+        if (end != v.c_str() + v.size() || v.empty())
+            usageError("bad integer \"" + v + "\"");
+        return static_cast<int>(n);
+    };
+
+    for (int i = 1; i < argc; i++) {
+        std::string a = argv[i];
+        if (a == "--workloads") {
+            workloads = value(i);
+        } else if (a == "--designs") {
+            designs = value(i);
+        } else if (a == "--rf-config") {
+            rf_configs = value(i);
+        } else if (a == "--latency-mult") {
+            latency_mults = value(i);
+        } else if (a == "--sms") {
+            opt.spec.num_sms = intValue(i);
+        } else if (a == "--active-warps") {
+            opt.spec.num_active_warps = intValue(i);
+        } else if (a == "--seed") {
+            std::string v = value(i);
+            char *end = nullptr;
+            opt.spec.seed = std::strtoull(v.c_str(), &end, 10);
+            // strtoull accepts and wraps a leading '-'; reject it.
+            if (v.empty() || !std::isdigit(static_cast<unsigned char>(v[0])) ||
+                end != v.c_str() + v.size())
+                usageError("bad seed \"" + v + "\"");
+        } else if (a == "--jobs") {
+            opt.jobs = intValue(i);
+            if (opt.jobs < 0)
+                usageError("--jobs must be >= 0 (0 = hardware "
+                           "concurrency)");
+        } else if (a == "--no-normalize") {
+            opt.normalize = false;
+        } else if (a == "--json") {
+            opt.json_path = value(i);
+        } else if (a == "--quiet") {
+            opt.quiet = true;
+        } else if (a == "--list") {
+            listTargets();
+            std::exit(0);
+        } else if (a == "--help" || a == "-h") {
+            std::fputs(USAGE, stdout);
+            std::exit(0);
+        } else {
+            usageError("unknown option \"" + a + "\"");
+        }
+    }
+
+    opt.spec.workloads = resolveWorkloads(workloads);
+    opt.spec.designs = resolveDesigns(designs);
+    opt.spec.rf_cfg_ids.clear();
+    for (const std::string &s : splitList(rf_configs)) {
+        char *end = nullptr;
+        long id = std::strtol(s.c_str(), &end, 10);
+        if (end != s.c_str() + s.size())
+            usageError("bad rf-config id \"" + s + "\"");
+        opt.spec.rf_cfg_ids.push_back(static_cast<int>(id));
+    }
+    for (const std::string &s : splitList(latency_mults)) {
+        char *end = nullptr;
+        double m = std::strtod(s.c_str(), &end);
+        if (end != s.c_str() + s.size() || m <= 0.0)
+            usageError("bad latency multiplier \"" + s + "\"");
+        opt.spec.latency_mults.push_back(m);
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+    std::vector<SweepCell> cells = expandSweep(opt.spec);
+
+    ExperimentRunner runner(opt.jobs);
+    BaselineCache baselines(baselineConfigFor(opt.spec), opt.spec.seed);
+    ResultSet rs =
+            runner.run(cells, opt.normalize ? &baselines : nullptr);
+
+    if (!opt.quiet) {
+        std::vector<double> mults = opt.spec.latency_mults;
+        if (mults.empty())
+            mults.push_back(0.0);
+        for (int id : opt.spec.rf_cfg_ids) {
+            for (double m : mults) {
+                if (id != 0) {
+                    const RfConfig &rc = rfConfig(id);
+                    std::printf("rf-config #%d (%s, %.1fx capacity, "
+                                "%.1fx latency)",
+                                id, cellTechName(rc.tech), rc.capacity,
+                                rc.latency);
+                } else {
+                    std::printf("baseline register file");
+                }
+                if (m > 0.0)
+                    std::printf(", latency x%.2f", m);
+                std::printf(" — %s IPC, %zu workloads, %d jobs\n",
+                            opt.normalize ? "normalized" : "raw",
+                            opt.spec.workloads.size(), runner.jobs());
+                rs.printTable(stdout, opt.spec.designs, id, m);
+                std::printf("\n");
+            }
+        }
+    }
+
+    if (!opt.json_path.empty())
+        rs.writeJsonFile(opt.json_path);
+    return 0;
+}

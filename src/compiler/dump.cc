@@ -10,17 +10,6 @@ namespace ltrf
 namespace
 {
 
-const char *
-branchKindName(BranchProfile::Kind k)
-{
-    switch (k) {
-      case BranchProfile::Kind::NONE: return "none";
-      case BranchProfile::Kind::LOOP: return "loop";
-      case BranchProfile::Kind::COND: return "cond";
-    }
-    return "?";
-}
-
 /** Pastel fill colors cycled per interval in the dot output. */
 const char *const INTERVAL_COLORS[] = {
         "#cce5ff", "#d4edda", "#fff3cd", "#f8d7da",

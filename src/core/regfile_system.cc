@@ -324,7 +324,7 @@ class PrefetchRf final : public RegFileSystem
     }
 
     void
-    deactivate(WarpId w, Cycle now) override
+    deactivate(WarpId w, Cycle /*now*/) override
     {
         WarpRf &wrf = warps[w];
         ltrf_assert(wrf.warp_offset >= 0, "warp %d not active", w);

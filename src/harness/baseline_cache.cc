@@ -1,0 +1,51 @@
+#include "harness/baseline_cache.hh"
+
+#include <memory>
+
+#include "sim/gpu.hh"
+#include "workloads/workload.hh"
+
+namespace ltrf::harness
+{
+
+BaselineCache::BaselineCache(const SimConfig &baseline_cfg,
+                             std::uint64_t seed)
+    : base_cfg(baseline_cfg), base_seed(seed)
+{
+}
+
+double
+BaselineCache::ipc(const Workload &w)
+{
+    using Task = std::packaged_task<double()>;
+    std::shared_ptr<Task> my_task;
+    std::shared_future<double> fut;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = futures.find(w.name);
+        if (it != futures.end()) {
+            fut = it->second;
+        } else {
+            // Register the future under the lock, but simulate
+            // outside it so concurrent requests for other workloads
+            // proceed in parallel.
+            my_task = std::make_shared<Task>([this, &w] {
+                return simulate(base_cfg, w.kernel, base_seed).ipc;
+            });
+            fut = my_task->get_future().share();
+            futures.emplace(w.name, fut);
+        }
+    }
+    if (my_task)
+        (*my_task)();
+    return fut.get();
+}
+
+bool
+BaselineCache::contains(const std::string &workload_name) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return futures.count(workload_name) != 0;
+}
+
+} // namespace ltrf::harness

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Thread-safe cache of per-workload baseline IPCs.
+ *
+ * The normalization baseline of the paper's evaluation (Table 2
+ * configuration #1, the 256KB HP-SRAM register file with the BL
+ * design) never changes within a harness run, but it is expensive to
+ * simulate, so every harness wants it computed at most once per
+ * workload. The old `bench_util.hh` version used a function-local
+ * `static std::map`, which races once the experiment runner executes
+ * cells on a thread pool; this class replaces it with a
+ * mutex-guarded future map where the first requester computes and
+ * every concurrent requester blocks on the same shared_future rather
+ * than duplicating the simulation.
+ */
+
+#ifndef LTRF_HARNESS_BASELINE_CACHE_HH
+#define LTRF_HARNESS_BASELINE_CACHE_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/config.hh"
+
+namespace ltrf
+{
+
+struct Workload;
+
+namespace harness
+{
+
+/** Computes and memoizes baseline IPCs; safe to share across threads. */
+class BaselineCache
+{
+  public:
+    /**
+     * @param baseline_cfg the configuration every workload's baseline
+     *                     is simulated with (design forced to BL by
+     *                     convention of the caller; the cache runs it
+     *                     verbatim)
+     * @param seed         workload seed, matching the measured runs
+     */
+    BaselineCache(const SimConfig &baseline_cfg, std::uint64_t seed);
+
+    /** Baseline IPC of @p w, simulating it on first request. */
+    double ipc(const Workload &w);
+
+    /** True if @p workload_name has already been computed/requested. */
+    bool contains(const std::string &workload_name) const;
+
+    const SimConfig &config() const { return base_cfg; }
+    std::uint64_t seed() const { return base_seed; }
+
+  private:
+    SimConfig base_cfg;
+    std::uint64_t base_seed;
+
+    mutable std::mutex mu;
+    std::map<std::string, std::shared_future<double>> futures;
+};
+
+} // namespace harness
+} // namespace ltrf
+
+#endif // LTRF_HARNESS_BASELINE_CACHE_HH

@@ -1,0 +1,310 @@
+#include "harness/result_set.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+#include "tech/rf_config.hh"
+
+namespace ltrf::harness
+{
+
+namespace
+{
+
+constexpr const char *SCHEMA = "ltrf.resultset.v1";
+
+Json
+cellToJson(const ResultRow &row)
+{
+    const SweepCell &c = row.cell;
+    const SimResult &r = row.result;
+    Json j = Json::object();
+    // Grid key first, then scalars, then measurements: the order is
+    // load-bearing (byte-identical golden files), so append-only.
+    j.set("workload", c.workload);
+    j.set("design", rfDesignName(c.design));
+    j.set("rf_config", c.rf_cfg_id);
+    j.set("latency_mult", c.latency_mult);
+    if (!c.tag.empty())
+        j.set("tag", c.tag);
+    j.set("num_sms", c.config.num_sms);
+    // As a decimal string: JSON numbers ride through double storage,
+    // which would silently round seeds above 2^53.
+    j.set("seed", std::to_string(c.seed));
+    j.set("cycles", static_cast<std::uint64_t>(r.cycles));
+    j.set("instructions", r.instructions);
+    j.set("ipc", r.ipc);
+    j.set("resident_warps", r.resident_warps);
+    j.set("main_accesses", r.main_accesses);
+    j.set("cache_accesses", r.cache_accesses);
+    j.set("wcb_accesses", r.wcb_accesses);
+    j.set("xfer_regs", r.xfer_regs);
+    j.set("prefetch_ops", r.prefetch_ops);
+    j.set("writeback_regs", r.writeback_regs);
+    j.set("prefetch_stall_cycles", r.prefetch_stall_cycles);
+    j.set("cache_hit_rate", r.cache_hit_rate);
+    j.set("l1d_hit_rate", r.l1d_hit_rate);
+    j.set("main_accesses_per_cycle", r.activity.main_accesses_per_cycle);
+    j.set("cache_accesses_per_cycle",
+          r.activity.cache_accesses_per_cycle);
+    j.set("wcb_accesses_per_cycle", r.activity.wcb_accesses_per_cycle);
+    j.set("xfer_regs_per_cycle", r.activity.xfer_regs_per_cycle);
+    if (row.normalized()) {
+        j.set("baseline_ipc", row.baseline_ipc);
+        j.set("normalized_ipc", row.normalizedIpc());
+    }
+    return j;
+}
+
+ResultRow
+cellFromJson(const Json &j, int index)
+{
+    ResultRow row;
+    SweepCell &c = row.cell;
+    SimResult &r = row.result;
+    c.index = index;
+    c.workload = j.at("workload").asString();
+    c.design = parseRfDesign(j.at("design").asString());
+    c.rf_cfg_id = static_cast<int>(j.at("rf_config").asInt());
+    c.latency_mult = j.at("latency_mult").asDouble();
+    if (j.contains("tag"))
+        c.tag = j.at("tag").asString();
+    // Re-materialize the cell's configuration the way expandSweep()
+    // does, so a loaded ResultSet can be re-simulated. Config edits
+    // outside the grid key (SweepCell::tag cells, e.g. the ablation
+    // harness's crossbar tweaks) are not serialized and cannot be
+    // restored here.
+    c.config.num_sms = static_cast<int>(j.at("num_sms").asInt());
+    c.config.design = c.design;
+    if (c.rf_cfg_id != 0)
+        applyRfConfig(c.config, rfConfig(c.rf_cfg_id));
+    if (c.latency_mult > 0.0)
+        c.config.mrf_latency_mult = c.latency_mult;
+    {
+        const std::string &s = j.at("seed").asString();
+        char *end = nullptr;
+        c.seed = std::strtoull(s.c_str(), &end, 10);
+        if (s.empty() || end != s.c_str() + s.size())
+            ltrf_fatal("bad seed \"%s\" in ResultSet JSON", s.c_str());
+    }
+    r.workload = c.workload;
+    r.design = c.design;
+    r.cycles = j.at("cycles").asUint();
+    r.instructions = j.at("instructions").asUint();
+    r.ipc = j.at("ipc").asDouble();
+    r.resident_warps = static_cast<int>(j.at("resident_warps").asInt());
+    r.main_accesses = j.at("main_accesses").asUint();
+    r.cache_accesses = j.at("cache_accesses").asUint();
+    r.wcb_accesses = j.at("wcb_accesses").asUint();
+    r.xfer_regs = j.at("xfer_regs").asUint();
+    r.prefetch_ops = j.at("prefetch_ops").asUint();
+    r.writeback_regs = j.at("writeback_regs").asUint();
+    r.prefetch_stall_cycles = j.at("prefetch_stall_cycles").asUint();
+    r.cache_hit_rate = j.at("cache_hit_rate").asDouble();
+    r.l1d_hit_rate = j.at("l1d_hit_rate").asDouble();
+    r.activity.main_accesses_per_cycle =
+            j.at("main_accesses_per_cycle").asDouble();
+    r.activity.cache_accesses_per_cycle =
+            j.at("cache_accesses_per_cycle").asDouble();
+    r.activity.wcb_accesses_per_cycle =
+            j.at("wcb_accesses_per_cycle").asDouble();
+    r.activity.xfer_regs_per_cycle =
+            j.at("xfer_regs_per_cycle").asDouble();
+    row.baseline_ipc = j.numberOr("baseline_ipc", 0.0);
+    return row;
+}
+
+bool
+keyMatches(const SweepCell &c, const std::string &workload,
+           RfDesign design, int rf_cfg_id, double latency_mult)
+{
+    return c.workload == workload && c.design == design &&
+           c.rf_cfg_id == rf_cfg_id && c.latency_mult == latency_mult;
+}
+
+} // namespace
+
+const ResultRow &
+ResultSet::find(const std::string &workload, RfDesign design,
+                int rf_cfg_id, double latency_mult) const
+{
+    for (const ResultRow &row : rows_)
+        if (keyMatches(row.cell, workload, design, rf_cfg_id,
+                       latency_mult))
+            return row;
+    ltrf_fatal("result set has no cell (%s, %s, rf#%d, %.2fx)",
+               workload.c_str(), rfDesignName(design), rf_cfg_id,
+               latency_mult);
+}
+
+const ResultRow &
+ResultSet::findTagged(const std::string &workload,
+                      const std::string &tag) const
+{
+    for (const ResultRow &row : rows_)
+        if (row.cell.workload == workload && row.cell.tag == tag)
+            return row;
+    ltrf_fatal("result set has no cell (%s, tag \"%s\")",
+               workload.c_str(), tag.c_str());
+}
+
+std::vector<std::string>
+ResultSet::workloads() const
+{
+    std::vector<std::string> names;
+    for (const ResultRow &row : rows_) {
+        bool seen = false;
+        for (const std::string &n : names)
+            if (n == row.cell.workload)
+                seen = true;
+        if (!seen)
+            names.push_back(row.cell.workload);
+    }
+    return names;
+}
+
+std::vector<double>
+ResultSet::normalizedByDesign(RfDesign design, int rf_cfg_id,
+                              double latency_mult) const
+{
+    std::vector<double> vals;
+    for (const std::string &w : workloads()) {
+        const ResultRow &row = find(w, design, rf_cfg_id, latency_mult);
+        if (!row.normalized())
+            ltrf_fatal("cell (%s, %s) was not normalized", w.c_str(),
+                       rfDesignName(design));
+        vals.push_back(row.normalizedIpc());
+    }
+    return vals;
+}
+
+double
+ResultSet::geomeanNormalized(RfDesign design, int rf_cfg_id,
+                             double latency_mult) const
+{
+    return geomean(normalizedByDesign(design, rf_cfg_id, latency_mult));
+}
+
+double
+ResultSet::mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double
+ResultSet::geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += std::log(x);
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+Json
+ResultSet::toJson() const
+{
+    Json root = Json::object();
+    root.set("schema", SCHEMA);
+    Json cells = Json::array();
+    for (const ResultRow &row : rows_)
+        cells.push(cellToJson(row));
+    root.set("cells", std::move(cells));
+    return root;
+}
+
+ResultSet
+ResultSet::fromJson(const Json &j)
+{
+    if (!j.contains("schema") || j.at("schema").asString() != SCHEMA)
+        ltrf_fatal("not a %s document", SCHEMA);
+    ResultSet rs;
+    const Json &cells = j.at("cells");
+    for (std::size_t i = 0; i < cells.size(); i++)
+        rs.add(cellFromJson(cells.at(i), static_cast<int>(i)));
+    return rs;
+}
+
+std::string
+ResultSet::dumpJson() const
+{
+    return toJson().dump(2) + "\n";
+}
+
+void
+ResultSet::writeJsonFile(const std::string &path) const
+{
+    std::string text = dumpJson();
+    if (path == "-") {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        ltrf_fatal("cannot open %s for writing: %s", path.c_str(),
+                   std::strerror(errno));
+    std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    if (n != text.size() || std::fclose(f) != 0)
+        ltrf_fatal("short write to %s", path.c_str());
+}
+
+ResultSet
+ResultSet::readJsonFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        ltrf_fatal("cannot open %s: %s", path.c_str(),
+                   std::strerror(errno));
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return fromJson(Json::parse(text));
+}
+
+void
+ResultSet::printTable(std::FILE *out, const std::vector<RfDesign> &designs,
+                      int rf_cfg_id, double latency_mult) const
+{
+    std::fprintf(out, "%-16s", "workload");
+    for (RfDesign d : designs)
+        std::fprintf(out, " %12s", rfDesignName(d));
+    std::fprintf(out, "\n");
+    for (std::size_t i = 0; i < 16 + designs.size() * 13; i++)
+        std::fputc('-', out);
+    std::fputc('\n', out);
+
+    bool all_normalized = true;
+    for (const std::string &w : workloads()) {
+        std::fprintf(out, "%-16s", w.c_str());
+        for (RfDesign d : designs) {
+            const ResultRow &row = find(w, d, rf_cfg_id, latency_mult);
+            all_normalized = all_normalized && row.normalized();
+            std::fprintf(out, " %12.3f",
+                         row.normalized() ? row.normalizedIpc()
+                                          : row.result.ipc);
+        }
+        std::fputc('\n', out);
+    }
+
+    if (all_normalized) {
+        std::fprintf(out, "%-16s", "GEOMEAN");
+        for (RfDesign d : designs)
+            std::fprintf(out, " %12.3f",
+                         geomeanNormalized(d, rf_cfg_id, latency_mult));
+        std::fputc('\n', out);
+    }
+}
+
+} // namespace ltrf::harness

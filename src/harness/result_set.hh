@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Aggregated results of an experiment sweep.
+ *
+ * A ResultSet holds one ResultRow per executed SweepCell, in cell
+ * index order regardless of which pool thread finished first — that
+ * ordering (plus the deterministic JSON writer) is what makes
+ * `ltrf_run --jobs 1` and `--jobs 8` byte-identical. It provides the
+ * aggregation the figure harnesses share: baseline-normalized IPC,
+ * geometric means per series, lookup by grid key, and JSON and table
+ * emission.
+ */
+
+#ifndef LTRF_HARNESS_RESULT_SET_HH
+#define LTRF_HARNESS_RESULT_SET_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/json.hh"
+#include "harness/sweep.hh"
+#include "sim/gpu.hh"
+
+namespace ltrf::harness
+{
+
+/** One executed cell. */
+struct ResultRow
+{
+    SweepCell cell;
+    SimResult result;
+    /** Baseline IPC for normalization; 0 when not normalized. */
+    double baseline_ipc = 0.0;
+
+    bool normalized() const { return baseline_ipc > 0.0; }
+    /** IPC relative to the baseline (0 when not normalized). */
+    double
+    normalizedIpc() const
+    {
+        return normalized() ? result.ipc / baseline_ipc : 0.0;
+    }
+};
+
+/** Aggregate over all rows of a sweep, in cell index order. */
+class ResultSet
+{
+  public:
+    void add(ResultRow row) { rows_.push_back(std::move(row)); }
+    const std::vector<ResultRow> &rows() const { return rows_; }
+    std::size_t size() const { return rows_.size(); }
+
+    /**
+     * Look up the row with the given grid key; fatal() if absent,
+     * because a harness asking for a cell it did not sweep is a bug.
+     */
+    const ResultRow &find(const std::string &workload, RfDesign design,
+                          int rf_cfg_id = 0,
+                          double latency_mult = 0.0) const;
+
+    /** Look up a tag-disambiguated row (see SweepCell::tag). */
+    const ResultRow &findTagged(const std::string &workload,
+                                const std::string &tag) const;
+
+    /** Workload names in first-appearance order. */
+    std::vector<std::string> workloads() const;
+
+    /**
+     * Normalized IPCs of @p design on @p rf_cfg_id across workloads,
+     * in first-appearance order. fatal() if any row is missing or
+     * not normalized.
+     */
+    std::vector<double> normalizedByDesign(RfDesign design,
+                                           int rf_cfg_id = 0,
+                                           double latency_mult = 0.0) const;
+
+    /** Geometric mean of normalizedByDesign(). */
+    double geomeanNormalized(RfDesign design, int rf_cfg_id = 0,
+                             double latency_mult = 0.0) const;
+
+    // ----- Statistics helpers (shared with the figure harnesses) -----
+    static double mean(const std::vector<double> &v);
+    static double geomean(const std::vector<double> &v);
+
+    // ----- Serialization -----
+    Json toJson() const;
+    static ResultSet fromJson(const Json &j);
+    /** dump(2) of toJson() plus a trailing newline. */
+    std::string dumpJson() const;
+    /** Write dumpJson() to @p path ("-" = stdout); fatal() on I/O error. */
+    void writeJsonFile(const std::string &path) const;
+    static ResultSet readJsonFile(const std::string &path);
+
+    /**
+     * Print a workload-rows x design-columns table of normalized (or
+     * raw, if not normalized) IPC for @p rf_cfg_id, with a trailing
+     * GEOMEAN row, to @p out.
+     */
+    void printTable(std::FILE *out, const std::vector<RfDesign> &designs,
+                    int rf_cfg_id = 0, double latency_mult = 0.0) const;
+
+  private:
+    std::vector<ResultRow> rows_;
+};
+
+} // namespace ltrf::harness
+
+#endif // LTRF_HARNESS_RESULT_SET_HH

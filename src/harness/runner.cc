@@ -1,0 +1,111 @@
+#include "harness/runner.hh"
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+#include "sim/gpu.hh"
+#include "workloads/workload.hh"
+
+namespace ltrf::harness
+{
+
+namespace
+{
+
+int
+defaultJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/**
+ * Drain @p tasks on @p jobs workers. The queue is just an atomic
+ * cursor: tasks are independent and their outputs land at
+ * preassigned indices, so no further coordination is needed.
+ */
+void
+runPool(const std::vector<std::function<void()>> &tasks, int jobs)
+{
+    if (jobs <= 1) {
+        for (const auto &t : tasks)
+            t();
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        while (true) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= tasks.size())
+                return;
+            tasks[i]();
+        }
+    };
+    std::vector<std::thread> threads;
+    int spawn = std::min<int>(jobs, static_cast<int>(tasks.size()));
+    threads.reserve(static_cast<std::size_t>(spawn));
+    for (int t = 0; t < spawn; t++)
+        threads.emplace_back(worker);
+    for (std::thread &t : threads)
+        t.join();
+}
+
+} // namespace
+
+ExperimentRunner::ExperimentRunner(int jobs)
+    : num_jobs(jobs > 0 ? jobs : defaultJobs())
+{
+}
+
+ResultSet
+ExperimentRunner::run(const std::vector<SweepCell> &cells,
+                      BaselineCache *baselines)
+{
+    std::vector<SimResult> results(cells.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(cells.size() + 16);
+
+    // Baseline warm-up first: with cells sorted workload-major, the
+    // normalizing run of each workload would otherwise be computed
+    // inside whichever cell task asks first while its siblings
+    // block; as dedicated pool tasks they overlap with cell work.
+    if (baselines) {
+        std::vector<std::string> warm;
+        for (const SweepCell &c : cells) {
+            bool seen = false;
+            for (const std::string &w : warm)
+                if (w == c.workload)
+                    seen = true;
+            if (!seen)
+                warm.push_back(c.workload);
+        }
+        for (const std::string &w : warm)
+            tasks.push_back([baselines, w] {
+                baselines->ipc(WorkloadSuite::byName(w));
+            });
+    }
+
+    for (std::size_t i = 0; i < cells.size(); i++)
+        tasks.push_back([&cells, &results, i] {
+            const SweepCell &c = cells[i];
+            const Workload &w = WorkloadSuite::byName(c.workload);
+            results[i] = simulate(c.config, w.kernel, c.seed);
+        });
+
+    runPool(tasks, num_jobs);
+
+    ResultSet rs;
+    for (std::size_t i = 0; i < cells.size(); i++) {
+        ResultRow row;
+        row.cell = cells[i];
+        row.result = results[i];
+        if (baselines)
+            row.baseline_ipc =
+                    baselines->ipc(WorkloadSuite::byName(cells[i].workload));
+        rs.add(std::move(row));
+    }
+    return rs;
+}
+
+} // namespace ltrf::harness

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Multi-threaded experiment runner.
+ *
+ * Each (workload, config) cell of a sweep is an independent Gpu
+ * instance, so the runner executes cells on a fixed-size pool of
+ * std::threads fed by an atomic work queue and stores each
+ * SimResult at its cell's index. Results are therefore in sweep
+ * order and bit-identical regardless of the job count or which
+ * thread ran which cell — the property the CI determinism guard
+ * (`--jobs 1` vs `--jobs 8`) checks.
+ *
+ * When a BaselineCache is supplied, the runner first warms it for
+ * every distinct workload in the sweep (as pool work, so baselines
+ * also run in parallel) and then attaches baseline IPCs to every
+ * row for normalization.
+ */
+
+#ifndef LTRF_HARNESS_RUNNER_HH
+#define LTRF_HARNESS_RUNNER_HH
+
+#include <vector>
+
+#include "harness/baseline_cache.hh"
+#include "harness/result_set.hh"
+#include "harness/sweep.hh"
+
+namespace ltrf::harness
+{
+
+class ExperimentRunner
+{
+  public:
+    /**
+     * @param jobs worker thread count; 0 picks the hardware
+     *             concurrency, 1 runs inline without spawning.
+     */
+    explicit ExperimentRunner(int jobs = 0);
+
+    /**
+     * Execute every cell of @p cells (in parallel up to the job
+     * count) and collect results in cell order. If @p baselines is
+     * non-null, each row is normalized against its workload's
+     * baseline IPC from that cache.
+     */
+    ResultSet run(const std::vector<SweepCell> &cells,
+                  BaselineCache *baselines = nullptr);
+
+    int jobs() const { return num_jobs; }
+
+  private:
+    int num_jobs;
+};
+
+} // namespace ltrf::harness
+
+#endif // LTRF_HARNESS_RUNNER_HH

@@ -1,0 +1,174 @@
+#include "harness/sweep.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/log.hh"
+#include "tech/rf_config.hh"
+#include "workloads/workload.hh"
+
+namespace ltrf::harness
+{
+
+namespace
+{
+
+void
+applyScalars(SimConfig &cfg, const SweepSpec &spec)
+{
+    cfg.num_sms = spec.num_sms;
+    if (spec.num_active_warps > 0)
+        cfg.num_active_warps = spec.num_active_warps;
+}
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+/** Every design, in evaluation order; the single source for "all". */
+constexpr RfDesign ALL_DESIGNS[] = {
+        RfDesign::BL,          RfDesign::RFC,  RfDesign::SHRF,
+        RfDesign::LTRF_STRAND, RfDesign::LTRF, RfDesign::LTRF_PLUS,
+        RfDesign::IDEAL};
+
+} // namespace
+
+std::vector<SweepCell>
+expandSweep(const SweepSpec &spec)
+{
+    if (spec.workloads.empty())
+        ltrf_fatal("sweep spec has no workloads");
+    if (spec.designs.empty())
+        ltrf_fatal("sweep spec has no designs");
+    if (spec.rf_cfg_ids.empty())
+        ltrf_fatal("sweep spec has no register file configurations");
+
+    // Validate names up front so errors surface before any
+    // simulation starts (byName() fatals on unknown workloads).
+    for (const std::string &name : spec.workloads)
+        WorkloadSuite::byName(name);
+    for (int id : spec.rf_cfg_ids)
+        if (id < 0 || id > static_cast<int>(rfConfigTable().size()))
+            ltrf_fatal("rf configuration id %d out of range (0 keeps "
+                       "the baseline register file, Table 2 rows are "
+                       "1..%zu)",
+                       id, rfConfigTable().size());
+
+    std::vector<double> mults = spec.latency_mults;
+    if (mults.empty())
+        mults.push_back(0.0); // single pass, no override
+
+    std::vector<SweepCell> cells;
+    cells.reserve(spec.workloads.size() * spec.designs.size() *
+                  spec.rf_cfg_ids.size() * mults.size());
+    int index = 0;
+    for (const std::string &w : spec.workloads) {
+        for (RfDesign d : spec.designs) {
+            for (int id : spec.rf_cfg_ids) {
+                for (double m : mults) {
+                    SweepCell c;
+                    c.index = index++;
+                    c.workload = w;
+                    c.design = d;
+                    c.rf_cfg_id = id;
+                    c.latency_mult = m;
+                    c.seed = spec.seed;
+                    applyScalars(c.config, spec);
+                    c.config.design = d;
+                    if (id != 0)
+                        applyRfConfig(c.config, rfConfig(id));
+                    if (m > 0.0)
+                        c.config.mrf_latency_mult = m;
+                    cells.push_back(std::move(c));
+                }
+            }
+        }
+    }
+    return cells;
+}
+
+SimConfig
+baselineConfigFor(const SweepSpec &spec)
+{
+    SimConfig cfg;
+    applyScalars(cfg, spec);
+    cfg.design = RfDesign::BL;
+    return cfg;
+}
+
+std::vector<std::string>
+splitList(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == sep) {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::vector<std::string>
+resolveWorkloads(const std::string &selector)
+{
+    std::vector<std::string> names;
+    if (selector == "all" || selector.empty()) {
+        for (const Workload &w : WorkloadSuite::all())
+            names.push_back(w.name);
+    } else if (selector == "sensitive") {
+        for (const Workload *w : WorkloadSuite::sensitive())
+            names.push_back(w->name);
+    } else if (selector == "insensitive") {
+        for (const Workload *w : WorkloadSuite::insensitive())
+            names.push_back(w->name);
+    } else {
+        for (const std::string &n : splitList(selector)) {
+            WorkloadSuite::byName(n); // fatal() on unknown names
+            names.push_back(n);
+        }
+    }
+    return names;
+}
+
+RfDesign
+parseRfDesign(const std::string &name)
+{
+    const std::string want = lowered(name);
+    for (RfDesign d : ALL_DESIGNS)
+        if (want == lowered(rfDesignName(d)))
+            return d;
+    // Accept spelling variants that avoid shell-hostile characters.
+    if (want == "ltrf_plus" || want == "ltrf-plus")
+        return RfDesign::LTRF_PLUS;
+    if (want == "ltrf_strand" || want == "ltrf-strand")
+        return RfDesign::LTRF_STRAND;
+    ltrf_fatal("unknown register file design \"%s\" (expected one of "
+               "BL, RFC, SHRF, LTRF(strand), LTRF, LTRF+, Ideal)",
+               name.c_str());
+}
+
+std::vector<RfDesign>
+resolveDesigns(const std::string &selector)
+{
+    if (selector == "all" || selector.empty())
+        return {std::begin(ALL_DESIGNS), std::end(ALL_DESIGNS)};
+    std::vector<RfDesign> out;
+    for (const std::string &n : splitList(selector))
+        out.push_back(parseRfDesign(n));
+    return out;
+}
+
+} // namespace ltrf::harness

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Declarative sweep specification for the experiment runner.
+ *
+ * A SweepSpec names the grid the paper's evaluation walks — workloads
+ * x register file designs x Table 2 configurations (x optionally a
+ * raw latency-multiplier axis, which Figure 11's tolerable-latency
+ * sweep uses instead of Table 2 rows) — plus the scalar knobs shared
+ * by every cell (SM count, seed, active warps). expandSweep()
+ * materializes it into a flat, deterministically-ordered vector of
+ * SweepCells, each carrying a fully-built SimConfig; harnesses with
+ * knobs outside the grid (e.g. the ablation study's crossbar-width
+ * sweep) expand first and then edit cell.config / cell.tag directly.
+ */
+
+#ifndef LTRF_HARNESS_SWEEP_HH
+#define LTRF_HARNESS_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+
+namespace ltrf::harness
+{
+
+/** The declarative experiment grid. */
+struct SweepSpec
+{
+    /**
+     * Workload names (resolved against WorkloadSuite::byName()).
+     * resolveWorkloads() turns the selector strings "all",
+     * "sensitive", and "insensitive" into explicit name lists.
+     */
+    std::vector<std::string> workloads;
+
+    /** Register file designs to evaluate. */
+    std::vector<RfDesign> designs;
+
+    /**
+     * Table 2 configuration ids (1-7) applied via applyRfConfig();
+     * the sentinel 0 means "leave the baseline register file
+     * parameters untouched".
+     */
+    std::vector<int> rf_cfg_ids = {0};
+
+    /**
+     * Optional raw main-RF latency multipliers, applied after the
+     * Table 2 row. Empty means "no override axis" (a single pass
+     * with the multiplier the Table 2 row set).
+     */
+    std::vector<double> latency_mults;
+
+    // ----- Scalars shared by every cell -----
+    int num_sms = 4;
+    /** 0 keeps SimConfig's default active-warp pool. */
+    int num_active_warps = 0;
+    std::uint64_t seed = 2018;
+};
+
+/** One (workload, design, rf config, latency) point of the grid. */
+struct SweepCell
+{
+    /** Position in expansion order; results are reported in it. */
+    int index = 0;
+
+    // ----- Grid key -----
+    std::string workload;
+    RfDesign design = RfDesign::BL;
+    int rf_cfg_id = 0;          ///< 0 = no Table 2 row applied
+    double latency_mult = 0.0;  ///< 0 = no explicit override
+    /** Free-form disambiguator for cells that edit config directly. */
+    std::string tag;
+
+    /** Fully materialized configuration the cell simulates. */
+    SimConfig config;
+    std::uint64_t seed = 2018;
+};
+
+/**
+ * Expand @p spec into cells, ordered workload-major, then design,
+ * then Table 2 id, then latency multiplier. fatal() on unknown
+ * workload names or out-of-range configuration ids.
+ */
+std::vector<SweepCell> expandSweep(const SweepSpec &spec);
+
+/**
+ * The baseline configuration cells of @p spec are normalized
+ * against: BL design, no Table 2 row, same SM count / active warps.
+ */
+SimConfig baselineConfigFor(const SweepSpec &spec);
+
+// ----- Selector / CLI parsing helpers -----
+
+/** Split @p s at @p sep, dropping empty fields. */
+std::vector<std::string> splitList(const std::string &s, char sep = ',');
+
+/**
+ * Resolve a workload selector — "all", "sensitive", "insensitive",
+ * or a comma-separated name list — into explicit workload names.
+ * fatal() on unknown names.
+ */
+std::vector<std::string> resolveWorkloads(const std::string &selector);
+
+/**
+ * Parse a design selector — "all" or a comma-separated list of the
+ * rfDesignName() names ("BL", "RFC", "SHRF", "LTRF-strand", "LTRF",
+ * "LTRF+", "Ideal"; case-insensitive). fatal() on unknown names.
+ */
+std::vector<RfDesign> resolveDesigns(const std::string &selector);
+
+/** Parse one design name; fatal() if unknown. */
+RfDesign parseRfDesign(const std::string &name);
+
+} // namespace ltrf::harness
+
+#endif // LTRF_HARNESS_SWEEP_HH

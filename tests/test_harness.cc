@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Tests for the experiment-runner subsystem: sweep-spec expansion,
+ * thread-pool determinism (identical results for 1 and 8 jobs),
+ * JSON round-tripping, and baseline normalization against the
+ * 256KB-baseline rule bench_util.hh documents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "harness/json.hh"
+#include "harness/runner.hh"
+
+using namespace ltrf;
+using namespace ltrf::harness;
+
+namespace
+{
+
+/** A 2-workload x 2-design micro-sweep that runs in ~a second. */
+SweepSpec
+microSpec()
+{
+    SweepSpec spec;
+    spec.workloads = {"bfs", "btree"};
+    spec.designs = {RfDesign::BL, RfDesign::LTRF};
+    spec.rf_cfg_ids = {6};
+    spec.num_sms = 1;
+    spec.seed = bench::BENCH_SEED;
+    return spec;
+}
+
+} // namespace
+
+// ----- Sweep expansion -----
+
+TEST(SweepSpec, ExpansionOrderAndCount)
+{
+    SweepSpec spec;
+    spec.workloads = {"bfs", "btree"};
+    spec.designs = {RfDesign::BL, RfDesign::LTRF};
+    spec.rf_cfg_ids = {0, 6};
+    spec.num_sms = 2;
+
+    std::vector<SweepCell> cells = expandSweep(spec);
+    ASSERT_EQ(cells.size(), 8u);
+
+    // Workload-major, then design, then configuration.
+    EXPECT_EQ(cells[0].workload, "bfs");
+    EXPECT_EQ(cells[0].design, RfDesign::BL);
+    EXPECT_EQ(cells[0].rf_cfg_id, 0);
+    EXPECT_EQ(cells[1].rf_cfg_id, 6);
+    EXPECT_EQ(cells[2].design, RfDesign::LTRF);
+    EXPECT_EQ(cells[4].workload, "btree");
+    for (size_t i = 0; i < cells.size(); i++)
+        EXPECT_EQ(cells[i].index, static_cast<int>(i));
+}
+
+TEST(SweepSpec, ConfigMaterialization)
+{
+    SweepSpec spec;
+    spec.workloads = {"bfs"};
+    spec.designs = {RfDesign::LTRF};
+    spec.rf_cfg_ids = {6};
+    spec.num_sms = 2;
+    spec.num_active_warps = 4;
+
+    std::vector<SweepCell> cells = expandSweep(spec);
+    ASSERT_EQ(cells.size(), 1u);
+    const SimConfig &cfg = cells[0].config;
+    EXPECT_EQ(cfg.design, RfDesign::LTRF);
+    EXPECT_EQ(cfg.num_sms, 2);
+    EXPECT_EQ(cfg.num_active_warps, 4);
+    // Table 2 row applied: capacity, latency, and bank count.
+    const RfConfig &rc = rfConfig(6);
+    EXPECT_EQ(cfg.rf_capacity_mult, static_cast<int>(rc.capacity));
+    EXPECT_DOUBLE_EQ(cfg.mrf_latency_mult, rc.latency);
+    EXPECT_EQ(cfg.num_mrf_banks, 16 * rc.banks_mult);
+}
+
+TEST(SweepSpec, LatencyAxisOverridesConfig)
+{
+    SweepSpec spec;
+    spec.workloads = {"bfs"};
+    spec.designs = {RfDesign::BL};
+    spec.latency_mults = {1.0, 3.5};
+
+    std::vector<SweepCell> cells = expandSweep(spec);
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_DOUBLE_EQ(cells[0].config.mrf_latency_mult, 1.0);
+    EXPECT_DOUBLE_EQ(cells[1].config.mrf_latency_mult, 3.5);
+    EXPECT_DOUBLE_EQ(cells[1].latency_mult, 3.5);
+}
+
+TEST(SweepSpecDeathTest, UnknownWorkloadIsFatal)
+{
+    SweepSpec spec;
+    spec.workloads = {"no-such-workload"};
+    spec.designs = {RfDesign::BL};
+    EXPECT_EXIT(expandSweep(spec), ::testing::ExitedWithCode(1),
+                "no-such-workload");
+}
+
+TEST(SweepSpec, Selectors)
+{
+    EXPECT_EQ(resolveWorkloads("all").size(),
+              WorkloadSuite::all().size());
+    EXPECT_EQ(resolveWorkloads("sensitive").size(),
+              WorkloadSuite::sensitive().size());
+    EXPECT_EQ(resolveWorkloads("bfs,btree").size(), 2u);
+    EXPECT_EQ(parseRfDesign("ltrf+"), RfDesign::LTRF_PLUS);
+    EXPECT_EQ(parseRfDesign("LTRF-plus"), RfDesign::LTRF_PLUS);
+    EXPECT_EQ(parseRfDesign("Ideal"), RfDesign::IDEAL);
+    EXPECT_EQ(resolveDesigns("all").size(), 7u);
+}
+
+// ----- Thread-pool determinism -----
+
+TEST(ExperimentRunner, SameResultsForOneAndEightJobs)
+{
+    std::vector<SweepCell> cells = expandSweep(microSpec());
+
+    ExperimentRunner serial(1);
+    BaselineCache base1(baselineConfigFor(microSpec()),
+                        bench::BENCH_SEED);
+    ResultSet rs1 = serial.run(cells, &base1);
+
+    ExperimentRunner parallel(8);
+    BaselineCache base8(baselineConfigFor(microSpec()),
+                        bench::BENCH_SEED);
+    ResultSet rs8 = parallel.run(cells, &base8);
+
+    ASSERT_EQ(rs1.size(), rs8.size());
+    for (size_t i = 0; i < rs1.size(); i++) {
+        EXPECT_EQ(rs1.rows()[i].cell.workload,
+                  rs8.rows()[i].cell.workload);
+        EXPECT_EQ(rs1.rows()[i].result.cycles,
+                  rs8.rows()[i].result.cycles);
+        EXPECT_EQ(rs1.rows()[i].result.instructions,
+                  rs8.rows()[i].result.instructions);
+    }
+    // The strong form the CI smoke test relies on: byte-identical
+    // serialized output regardless of the job count.
+    EXPECT_EQ(rs1.dumpJson(), rs8.dumpJson());
+}
+
+TEST(BaselineCache, ConcurrentRequestsAgree)
+{
+    BaselineCache cache(baselineConfigFor(microSpec()),
+                        bench::BENCH_SEED);
+    const Workload &w = WorkloadSuite::byName("bfs");
+    std::vector<double> got(8, 0.0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; t++)
+        threads.emplace_back(
+                [&cache, &w, &got, t] { got[t] = cache.ipc(w); });
+    for (auto &t : threads)
+        t.join();
+    for (int t = 1; t < 8; t++)
+        EXPECT_EQ(got[0], got[t]);
+    EXPECT_GT(got[0], 0.0);
+    EXPECT_TRUE(cache.contains("bfs"));
+    EXPECT_FALSE(cache.contains("btree"));
+}
+
+// ----- JSON -----
+
+TEST(Json, DumpFormatting)
+{
+    Json j = Json::object();
+    j.set("int", 42);
+    j.set("big", std::uint64_t{123456789012345ull});
+    j.set("frac", 0.25);
+    j.set("text", "a\"b\\c\n");
+    j.set("flag", true);
+    j.set("none", Json());
+    EXPECT_EQ(j.dump(),
+              "{\"int\":42,\"big\":123456789012345,\"frac\":0.25,"
+              "\"text\":\"a\\\"b\\\\c\\n\",\"flag\":true,"
+              "\"none\":null}");
+}
+
+TEST(Json, ParseRoundTrip)
+{
+    const char *text = "{\"a\":[1,2.5,-3],\"b\":{\"c\":\"x\"},"
+                       "\"d\":false,\"e\":null}";
+    Json j = Json::parse(text);
+    EXPECT_EQ(j.at("a").size(), 3u);
+    EXPECT_DOUBLE_EQ(j.at("a").at(1).asDouble(), 2.5);
+    EXPECT_EQ(j.at("b").at("c").asString(), "x");
+    EXPECT_EQ(j.dump(), text);
+    EXPECT_TRUE(Json::parse(j.dump()) == j);
+}
+
+TEST(Json, PreservesInsertionOrder)
+{
+    Json j = Json::object();
+    j.set("zebra", 1);
+    j.set("alpha", 2);
+    EXPECT_EQ(j.dump(), "{\"zebra\":1,\"alpha\":2}");
+}
+
+TEST(JsonDeathTest, MalformedInputIsFatal)
+{
+    EXPECT_EXIT(Json::parse("{\"a\":}"), ::testing::ExitedWithCode(1),
+                "JSON parse error");
+}
+
+TEST(ResultSet, JsonRoundTrip)
+{
+    std::vector<SweepCell> cells = expandSweep(microSpec());
+    ExperimentRunner runner(2);
+    BaselineCache base(baselineConfigFor(microSpec()),
+                       bench::BENCH_SEED);
+    ResultSet rs = runner.run(cells, &base);
+
+    ResultSet back = ResultSet::fromJson(Json::parse(rs.dumpJson()));
+    ASSERT_EQ(back.size(), rs.size());
+    for (size_t i = 0; i < rs.size(); i++) {
+        const ResultRow &a = rs.rows()[i];
+        const ResultRow &b = back.rows()[i];
+        EXPECT_EQ(a.cell.workload, b.cell.workload);
+        EXPECT_EQ(a.cell.design, b.cell.design);
+        EXPECT_EQ(a.cell.rf_cfg_id, b.cell.rf_cfg_id);
+        EXPECT_EQ(a.result.cycles, b.result.cycles);
+        EXPECT_EQ(a.result.instructions, b.result.instructions);
+        EXPECT_EQ(a.result.ipc, b.result.ipc);
+        EXPECT_EQ(a.result.main_accesses, b.result.main_accesses);
+        EXPECT_EQ(a.baseline_ipc, b.baseline_ipc);
+    }
+    // And the re-serialization is byte-identical.
+    EXPECT_EQ(back.dumpJson(), rs.dumpJson());
+
+    // The loaded cells carry a re-materialized SimConfig matching
+    // what was simulated (Table 2 row re-applied).
+    const SimConfig &cfg = back.rows()[1].cell.config;
+    EXPECT_EQ(cfg.rf_capacity_mult, static_cast<int>(rfConfig(6).capacity));
+    EXPECT_DOUBLE_EQ(cfg.mrf_latency_mult, rfConfig(6).latency);
+}
+
+TEST(ResultSet, SeedSurvivesJsonExactly)
+{
+    // Seeds ride through JSON as strings: a double would round
+    // anything above 2^53.
+    ResultSet rs;
+    ResultRow row;
+    row.cell.workload = "bfs";
+    row.cell.design = RfDesign::BL;
+    row.cell.seed = 18446744073709551615ull; // 2^64 - 1
+    rs.add(row);
+    ResultSet back = ResultSet::fromJson(Json::parse(rs.dumpJson()));
+    EXPECT_EQ(back.rows()[0].cell.seed, 18446744073709551615ull);
+}
+
+// ----- Baseline normalization -----
+
+TEST(BaselineCache, MatchesBenchUtilBaselineRule)
+{
+    // bench_util.hh documents the normalization baseline: the BL
+    // design on the unmodified 256KB register file.
+    SimConfig base_cfg = bench::baselineConfig();
+    EXPECT_EQ(base_cfg.design, RfDesign::BL);
+    EXPECT_EQ(base_cfg.rf_bytes, 256u * 1024u);
+    EXPECT_EQ(base_cfg.rf_capacity_mult, 1);
+
+    const Workload &w = WorkloadSuite::byName("bfs");
+    BaselineCache cache(base_cfg, bench::BENCH_SEED);
+    // Same simulation as bench_util's baselineIpc() (which now
+    // delegates to a process-wide BaselineCache).
+    EXPECT_DOUBLE_EQ(cache.ipc(w), bench::baselineIpc(w));
+    EXPECT_DOUBLE_EQ(cache.ipc(w),
+                     simulate(base_cfg, w.kernel, bench::BENCH_SEED).ipc);
+}
+
+TEST(ResultSet, NormalizationAndGeomean)
+{
+    std::vector<SweepCell> cells = expandSweep(microSpec());
+    ExperimentRunner runner(2);
+    BaselineCache base(baselineConfigFor(microSpec()),
+                       bench::BENCH_SEED);
+    ResultSet rs = runner.run(cells, &base);
+
+    // Each row's normalized IPC is its IPC over its workload's
+    // baseline IPC.
+    for (const ResultRow &row : rs.rows()) {
+        ASSERT_TRUE(row.normalized());
+        const Workload &w = WorkloadSuite::byName(row.cell.workload);
+        EXPECT_DOUBLE_EQ(row.baseline_ipc, base.ipc(w));
+        EXPECT_DOUBLE_EQ(row.normalizedIpc(),
+                         row.result.ipc / base.ipc(w));
+    }
+
+    // Geomean helper agrees with the bench_util definition.
+    std::vector<double> ltrf =
+            rs.normalizedByDesign(RfDesign::LTRF, 6);
+    EXPECT_EQ(ltrf.size(), 2u);
+    EXPECT_DOUBLE_EQ(rs.geomeanNormalized(RfDesign::LTRF, 6),
+                     bench::geomean(ltrf));
+
+    // BL on configuration #6 pays 5.3x latency with no cache: it
+    // must not beat its own baseline.
+    EXPECT_LT(rs.geomeanNormalized(RfDesign::BL, 6), 1.0);
+}
+
+TEST(ResultSet, GeomeanOfKnownValues)
+{
+    EXPECT_DOUBLE_EQ(ResultSet::geomean({2.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(ResultSet::mean({2.0, 8.0}), 5.0);
+    EXPECT_DOUBLE_EQ(ResultSet::geomean({}), 0.0);
+}
+
+TEST(ResultSet, FindTagged)
+{
+    ResultSet rs;
+    ResultRow row;
+    row.cell.workload = "bfs";
+    row.cell.tag = "variant-a";
+    row.result.ipc = 1.5;
+    rs.add(row);
+    EXPECT_DOUBLE_EQ(rs.findTagged("bfs", "variant-a").result.ipc, 1.5);
+}
