@@ -8,35 +8,59 @@
  * Table 2's power scalars split into leakage and per-access energy,
  * with the simulator's measured access rates, plus cache/WCB/crossbar
  * overheads for the cached designs.
+ *
+ * The baseline-activity runs (the normalization anchor) and all
+ * measured cells are batched into one ExperimentRunner invocation;
+ * --jobs N bounds the worker count.
  */
 
 #include "bench_util.hh"
+#include "harness/runner.hh"
 
 using namespace ltrf;
 using namespace ltrf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::vector<RfDesign> designs = {
+            RfDesign::RFC, RfDesign::LTRF, RfDesign::LTRF_PLUS};
+
+    // BL on the unmodified register file (the activity anchor) plus
+    // the three cached designs on configuration #7, in one batch.
+    harness::SweepSpec base_spec = suiteSpec();
+    base_spec.designs = {RfDesign::BL};
+    std::vector<harness::SweepCell> cells =
+            harness::expandSweep(base_spec);
+
+    harness::SweepSpec spec = suiteSpec();
+    spec.designs = designs;
+    spec.rf_cfg_ids = {7};
+    for (harness::SweepCell c : harness::expandSweep(spec)) {
+        c.index = static_cast<int>(cells.size());
+        cells.push_back(std::move(c));
+    }
+
+    harness::ExperimentRunner runner(jobsFromArgs(argc, argv));
+    harness::ResultSet rs = runner.run(cells);
+
     std::printf("Figure 10: register file power on configuration #7, "
                 "normalized to baseline\n\n");
     printHeader({"RFC", "LTRF", "LTRF+"});
 
-    const std::vector<RfDesign> designs = {
-            RfDesign::RFC, RfDesign::LTRF, RfDesign::LTRF_PLUS};
     std::vector<std::vector<double>> cols(designs.size());
-
     for (const Workload &w : WorkloadSuite::all()) {
         // Normalization anchor: the baseline design's main-RF access
         // rate on this workload (configuration #1).
-        SimResult base = run(w, baselineConfig());
+        const SimResult &base =
+                rs.find(w.name, RfDesign::BL, 0).result;
         double base_rate = base.activity.main_accesses_per_cycle;
         double base_power = rfPower(rfConfig(1), base.activity,
                                     /*has_cache=*/false, base_rate);
 
         std::vector<double> row;
         for (size_t i = 0; i < designs.size(); i++) {
-            SimResult r = run(w, designConfig(designs[i], 7));
+            const SimResult &r = rs.find(w.name, designs[i], 7).result;
             double p = rfPower(rfConfig(7), r.activity,
                                /*has_cache=*/true, base_rate);
             row.push_back(p / base_power);

@@ -5,19 +5,32 @@
  * prefetch placement, and LTRF with register-intervals — the
  * experiment separating LTRF's gains from prior software-managed
  * hierarchies (section 6.6).
+ *
+ * All 5 designs x 7 latencies x 14 workloads run as one
+ * ExperimentRunner batch; --jobs N bounds the worker count.
  */
 
 #include "bench_util.hh"
+#include "harness/runner.hh"
 
 using namespace ltrf;
 using namespace ltrf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::vector<RfDesign> designs = {
             RfDesign::BL, RfDesign::RFC, RfDesign::SHRF,
             RfDesign::LTRF_STRAND, RfDesign::LTRF};
+
+    harness::SweepSpec spec = suiteSpec();
+    spec.designs = designs;
+    for (double m = 1.0; m <= 7.001; m += 1.0)
+        spec.latency_mults.push_back(m);
+
+    harness::ExperimentRunner runner(jobsFromArgs(argc, argv));
+    harness::ResultSet rs =
+            runner.run(harness::expandSweep(spec), &globalBaselineCache());
 
     std::printf("Figure 14: normalized IPC vs MRF access latency\n\n");
     std::printf("%-8s", "latency");
@@ -27,16 +40,8 @@ main()
 
     for (double m = 1.0; m <= 7.001; m += 1.0) {
         std::printf("%-7.0fx", m);
-        for (RfDesign d : designs) {
-            SimConfig cfg;
-            cfg.num_sms = BENCH_SMS;
-            cfg.design = d;
-            cfg.mrf_latency_mult = m;
-            std::vector<double> vals;
-            for (const Workload &w : WorkloadSuite::all())
-                vals.push_back(run(w, cfg).ipc / baselineIpc(w));
-            std::printf(" %14.3f", geomean(vals));
-        }
+        for (RfDesign d : designs)
+            std::printf(" %14.3f", rs.geomeanNormalized(d, 0, m));
         std::printf("\n");
     }
 

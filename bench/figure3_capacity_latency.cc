@@ -5,25 +5,36 @@
  * TFET-SRAM" that keeps the baseline latency. Both normalized to the
  * 256KB baseline. This is the motivation experiment: capacity helps,
  * but only if the latency is not exposed.
+ *
+ * All cells run on the ExperimentRunner thread pool; --jobs N bounds
+ * the worker count (default: hardware concurrency).
  */
 
 #include "bench_util.hh"
+#include "harness/runner.hh"
 
 using namespace ltrf;
 using namespace ltrf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::SweepSpec spec = suiteSpec();
+    spec.designs = {RfDesign::IDEAL, RfDesign::BL};
+    spec.rf_cfg_ids = {6};
+
+    harness::ExperimentRunner runner(jobsFromArgs(argc, argv));
+    harness::ResultSet rs =
+            runner.run(harness::expandSweep(spec), &globalBaselineCache());
+
     std::printf("Figure 3: 8x register file, ideal vs real TFET-SRAM "
                 "latency (normalized IPC)\n\n");
     printHeader({"Ideal TFET", "TFET-SRAM"});
 
     std::vector<double> ideal_s, real_s, ideal_i, real_i;
     for (const Workload &w : WorkloadSuite::all()) {
-        double base = baselineIpc(w);
-        double ideal = run(w, designConfig(RfDesign::IDEAL, 6)).ipc / base;
-        double real = run(w, designConfig(RfDesign::BL, 6)).ipc / base;
+        double ideal = rs.find(w.name, RfDesign::IDEAL, 6).normalizedIpc();
+        double real = rs.find(w.name, RfDesign::BL, 6).normalizedIpc();
         printRow(w.name + (w.register_sensitive ? " [S]" : " [I]"),
                  {ideal, real});
         (w.register_sensitive ? ideal_s : ideal_i).push_back(ideal);

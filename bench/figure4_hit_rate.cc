@@ -5,26 +5,38 @@
  * cache [20], per workload. The paper measures 8-30% and uses this
  * to argue that demand caching cannot hide main register file
  * latency.
+ *
+ * All cells run on the ExperimentRunner thread pool; --jobs N bounds
+ * the worker count (default: hardware concurrency). The metric is a
+ * raw hit rate, so no baseline runs are needed.
  */
 
 #include "bench_util.hh"
+#include "harness/runner.hh"
 
 using namespace ltrf;
 using namespace ltrf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::SweepSpec spec = suiteSpec();
+    spec.designs = {RfDesign::RFC, RfDesign::SHRF};
+    spec.rf_cfg_ids = {1};
+
+    harness::ExperimentRunner runner(jobsFromArgs(argc, argv));
+    harness::ResultSet rs = runner.run(harness::expandSweep(spec));
+
     std::printf("Figure 4: register file cache hit rate (16KB cache, "
                 "baseline latency)\n\n");
     printHeader({"HW cache", "SW cache"});
 
     std::vector<double> hw_all, sw_all;
     for (const Workload &w : WorkloadSuite::all()) {
-        SimConfig hw_cfg = designConfig(RfDesign::RFC, 1);
-        SimConfig sw_cfg = designConfig(RfDesign::SHRF, 1);
-        double hw = run(w, hw_cfg).cache_hit_rate;
-        double sw = run(w, sw_cfg).cache_hit_rate;
+        double hw = rs.find(w.name, RfDesign::RFC, 1)
+                            .result.cache_hit_rate;
+        double sw = rs.find(w.name, RfDesign::SHRF, 1)
+                            .result.cache_hit_rate;
         printRow(w.name + (w.register_sensitive ? " [S]" : " [I]"),
                  {hw, sw});
         hw_all.push_back(hw);

@@ -14,14 +14,20 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "tech/rf_config.hh"
 #include "workloads/workload.hh"
 
 using namespace ltrf;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --jobs is accepted (and validated) for interface uniformity
+    // with the other harnesses; this table is pure arithmetic over
+    // workload metadata, so there are no cells to parallelize.
+    (void)bench::jobsFromArgs(argc, argv);
+
     std::printf("Table 1: register file capacity required for maximum "
                 "TLP\n\n");
     for (const GpuProduct &gpu : gpuProductTable()) {

@@ -10,15 +10,23 @@
  */
 
 #include <cstdio>
+#include <cstring>
 
+#include "bench_util.hh"
 #include "common/log.hh"
 #include "tech/rf_config.hh"
+#include "tech/rf_model.hh"
 
 using namespace ltrf;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --jobs is accepted (and validated) for interface uniformity
+    // with the other harnesses; this table regenerates published
+    // scalars, so there are no cells to parallelize.
+    (void)bench::jobsFromArgs(argc, argv);
+
     std::printf("Table 2: register file designs (relative to config #1)\n");
     std::printf("%-4s %-10s %7s %9s %-13s %5s %6s %6s %10s %10s %8s\n",
                 "Cfg", "Cell", "#Banks", "BankSize", "Network", "Cap.",
@@ -34,6 +42,22 @@ main()
         ltrf_assert(c.capacity / c.area == c.cap_per_area ||
                     std::abs(c.capacity / c.area - c.cap_per_area) < 0.01,
                     "cap/area mismatch in config #%d", c.id);
+
+        // The parametric generator (tech/rf_model) must reproduce
+        // every published row from its axes alone, bit-identically.
+        RfModelPoint mp;
+        mp.tech = c.tech;
+        mp.banks_mult = c.banks_mult;
+        mp.bank_size_mult = c.bank_size_mult;
+        mp.network = std::strcmp(c.network, "Crossbar") == 0
+                             ? NetworkKind::CROSSBAR
+                             : NetworkKind::FLAT_BUTTERFLY;
+        RfConfig gen = makeRfConfig(mp);
+        ltrf_assert(gen.id == c.id && gen.capacity == c.capacity &&
+                    gen.area == c.area && gen.power == c.power &&
+                    gen.latency == c.latency,
+                    "parametric model does not reproduce config #%d",
+                    c.id);
     }
     std::printf("\nKey observations (section 2.2): designs optimizing "
                 "capacity density (e.g. #7 DWM:\n32x bits/area, 12x "

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * `ltrf_dse` — the design-space exploration CLI.
+ *
+ * Exposes the parametric register file space (tech x banks x bank
+ * size x network x cache x prefetch policy x active warps), a search
+ * strategy with a point budget, and the IPC/energy/area Pareto
+ * frontier:
+ *
+ *   ltrf_dse --strategy random --budget 200 --seed 7 --jobs 8 \
+ *            --workloads sensitive --out frontier.json
+ *
+ * Axis flags take comma-separated lists and restrict the searched
+ * space; restricting to the Table 2 axes and running `--strategy
+ * grid` reproduces the paper's seven design points bit-identically
+ * (they are anchor points of the parametric model). Output is
+ * deterministic for a given seed regardless of --jobs.
+ */
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "dse/explorer.hh"
+#include "harness/sweep.hh"
+#include "workloads/workload.hh"
+
+using namespace ltrf;
+using namespace ltrf::dse;
+
+namespace
+{
+
+constexpr const char *USAGE = R"(usage: ltrf_dse [options]
+
+Space bounds (comma-separated lists restrict each axis):
+  --techs LIST       hp, lstp, tfet, dwm (default: all four)
+  --banks LIST       bank-count multipliers, powers of two
+                     (default: 1,2,4,8; 1x = 16 banks)
+  --bank-sizes LIST  bank-size multipliers, powers of two
+                     (default: 1,2,4,8; 1x = 16KB)
+  --networks LIST    xbar, fbfly; or "auto" to pair crossbars with
+                     1x banks and butterflies above (default: auto)
+  --cache-kb LIST    register cache sizes in KB (default: 8,16,32)
+  --policies LIST    none, rfc, shrf, strand, interval, interval+
+                     (default: interval)
+  --warps LIST       active warps per SM (default: 4,8,16)
+
+Search:
+  --strategy S       grid | random | hill (default: grid)
+  --budget N         max design points considered; required for
+                     random/hill, 0 = whole space for grid
+  --seed S           sampling + workload seed (default: 2018)
+  --prune / --no-prune
+                     force the model-dominance pruning heuristic on
+                     or off (default: off for grid, on otherwise)
+
+Evaluation:
+  --workloads LIST   all | sensitive | insensitive | name,name,...
+                     (default: all)
+  --sms N            SMs to simulate (default: 4)
+  --jobs N           worker threads; 0 = hardware concurrency
+                     (default: 0); never changes the results
+
+Output:
+  --out PATH         write the exploration report ("-" for stdout)
+  --format F         json | csv (default: json)
+  --quiet            suppress the frontier table
+  --list             list axis values and workloads, then exit
+  --help             show this message
+)";
+
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    std::fprintf(stderr, "ltrf_dse: %s\n\n%s", msg.c_str(), USAGE);
+    std::exit(2);
+}
+
+void
+listTargets()
+{
+    std::printf("techs:     hp (HP SRAM), lstp (LSTP SRAM), "
+                "tfet (TFET SRAM), dwm (DWM)\n");
+    std::printf("networks:  xbar (Crossbar), fbfly (F. Butterfly), "
+                "auto\n");
+    std::printf("policies:  none (BL), rfc (RFC), shrf (SHRF), "
+                "strand (LTRF strand), interval (LTRF),\n"
+                "           interval+ (LTRF+)\n");
+    std::printf("workloads: %s\n", WorkloadSuite::namesList().c_str());
+    const DesignSpace def = DesignSpace::defaults();
+    std::printf("default space: %llu points\n",
+                static_cast<unsigned long long>(def.size()));
+}
+
+struct Options
+{
+    DesignSpace space = DesignSpace::defaults();
+    ExploreOptions explore;
+    bool quiet = false;
+    std::string out_path;
+    harness::OutputFormat format = harness::OutputFormat::JSON;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+
+    auto value = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            usageError(std::string(argv[i]) + " needs a value");
+        return argv[++i];
+    };
+    auto intValue = [&](int &i) {
+        std::string v = value(i);
+        char *end = nullptr;
+        long n = std::strtol(v.c_str(), &end, 10);
+        if (end != v.c_str() + v.size() || v.empty())
+            usageError("bad integer \"" + v + "\"");
+        return static_cast<int>(n);
+    };
+    auto intList = [&](int &i, const char *what) {
+        std::vector<int> out;
+        for (const std::string &s : harness::splitList(value(i))) {
+            char *end = nullptr;
+            long n = std::strtol(s.c_str(), &end, 10);
+            if (end != s.c_str() + s.size())
+                usageError("bad " + std::string(what) + " \"" + s +
+                           "\"");
+            out.push_back(static_cast<int>(n));
+        }
+        if (out.empty())
+            usageError(std::string(what) + " list is empty");
+        return out;
+    };
+
+    for (int i = 1; i < argc; i++) {
+        std::string a = argv[i];
+        if (a == "--techs") {
+            opt.space.techs.clear();
+            for (const std::string &s :
+                 harness::splitList(value(i))) {
+                CellTech t;
+                if (!parseCellTech(s, t))
+                    usageError("unknown tech \"" + s +
+                               "\" (expected hp, lstp, tfet, dwm)");
+                opt.space.techs.push_back(t);
+            }
+            if (opt.space.techs.empty())
+                usageError("--techs list is empty");
+        } else if (a == "--banks") {
+            opt.space.banks = intList(i, "banks multiplier");
+        } else if (a == "--bank-sizes") {
+            opt.space.bank_sizes = intList(i, "bank-size multiplier");
+        } else if (a == "--networks") {
+            std::string v = value(i);
+            opt.space.networks.clear();
+            if (v != "auto") {
+                for (const std::string &s : harness::splitList(v)) {
+                    NetworkKind n;
+                    if (!parseNetwork(s, n))
+                        usageError("unknown network \"" + s +
+                                   "\" (expected xbar, fbfly, auto)");
+                    opt.space.networks.push_back(n);
+                }
+                if (opt.space.networks.empty())
+                    usageError("--networks list is empty");
+            }
+        } else if (a == "--cache-kb") {
+            opt.space.cache_kbs = intList(i, "cache size");
+        } else if (a == "--policies") {
+            opt.space.policies.clear();
+            for (const std::string &s :
+                 harness::splitList(value(i))) {
+                PrefetchPolicy p;
+                if (!parsePolicy(s, p))
+                    usageError("unknown policy \"" + s +
+                               "\" (expected none, rfc, shrf, "
+                               "strand, interval, interval+)");
+                opt.space.policies.push_back(p);
+            }
+            if (opt.space.policies.empty())
+                usageError("--policies list is empty");
+        } else if (a == "--warps") {
+            opt.space.warps = intList(i, "warp count");
+        } else if (a == "--strategy") {
+            std::string v = value(i);
+            if (!parseStrategy(v, opt.explore.strategy))
+                usageError("unknown strategy \"" + v +
+                           "\" (expected grid, random, hill)");
+        } else if (a == "--budget") {
+            int n = intValue(i);
+            if (n < 0)
+                usageError("--budget must be >= 0");
+            opt.explore.budget = static_cast<std::uint64_t>(n);
+        } else if (a == "--seed") {
+            std::string v = value(i);
+            char *end = nullptr;
+            opt.explore.seed = std::strtoull(v.c_str(), &end, 10);
+            if (v.empty() ||
+                !std::isdigit(static_cast<unsigned char>(v[0])) ||
+                end != v.c_str() + v.size())
+                usageError("bad seed \"" + v + "\"");
+        } else if (a == "--prune") {
+            opt.explore.prune = 1;
+        } else if (a == "--no-prune") {
+            opt.explore.prune = 0;
+        } else if (a == "--workloads") {
+            std::string v = value(i);
+            // Selectors resolve like ltrf_run's; explicit names get
+            // a CLI-grade error via WorkloadSuite::find().
+            if (v == "all" || v == "sensitive" ||
+                v == "insensitive") {
+                opt.explore.workloads = harness::resolveWorkloads(v);
+            } else {
+                for (const std::string &n : harness::splitList(v)) {
+                    if (!WorkloadSuite::find(n))
+                        usageError("unknown workload \"" + n +
+                                   "\" (valid names: " +
+                                   WorkloadSuite::namesList() + ")");
+                    opt.explore.workloads.push_back(n);
+                }
+                if (opt.explore.workloads.empty())
+                    usageError("--workloads list is empty");
+            }
+        } else if (a == "--sms") {
+            opt.explore.num_sms = intValue(i);
+            if (opt.explore.num_sms < 1)
+                usageError("--sms must be >= 1");
+        } else if (a == "--jobs") {
+            opt.explore.jobs = intValue(i);
+            if (opt.explore.jobs < 0)
+                usageError("--jobs must be >= 0 (0 = hardware "
+                           "concurrency)");
+        } else if (a == "--out") {
+            opt.out_path = value(i);
+        } else if (a == "--format") {
+            std::string v = value(i);
+            if (!harness::parseOutputFormat(v, opt.format))
+                usageError("unknown format \"" + v +
+                           "\" (expected json or csv)");
+        } else if (a == "--quiet") {
+            opt.quiet = true;
+        } else if (a == "--list") {
+            listTargets();
+            std::exit(0);
+        } else if (a == "--help" || a == "-h") {
+            std::fputs(USAGE, stdout);
+            std::exit(0);
+        } else {
+            usageError("unknown option \"" + a + "\"");
+        }
+    }
+    return opt;
+}
+
+void
+printFrontier(const DseResult &res)
+{
+    std::printf("%-28s %4s %6s %6s %8s | %7s %7s %7s\n", "design",
+                "cfg", "cap", "banks", "latency", "IPC", "energy",
+                "area");
+    for (std::size_t i = 0; i < 28 + 4 + 6 + 6 + 8 + 3 + 7 * 3 + 6;
+         i++)
+        std::printf("-");
+    std::printf("\n");
+    for (int idx : res.frontier) {
+        const PointResult &pr =
+                res.evaluated[static_cast<std::size_t>(idx)];
+        std::printf("%-28s %4d %5.0fx %5dx %7.2fx | %7.3f %7.3f "
+                    "%7.3f\n",
+                    pr.point.key().c_str(), pr.model.id,
+                    pr.model.capacity, pr.point.banks_mult,
+                    pr.model.latency, pr.obj.ipc, pr.obj.energy,
+                    pr.obj.area);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    DseResult res = explore(opt.space, opt.explore);
+    const double secs =
+            std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+
+    if (!opt.quiet) {
+        std::printf("%s search: %zu points evaluated (of %llu in "
+                    "space), %llu pruned, %llu sim reuses, %llu "
+                    "cells simulated, %.1fs\n",
+                    strategyName(res.strategy), res.evaluated.size(),
+                    static_cast<unsigned long long>(res.space_size),
+                    static_cast<unsigned long long>(res.pruned),
+                    static_cast<unsigned long long>(res.sim_reuse),
+                    static_cast<unsigned long long>(res.sim_cells),
+                    secs);
+        std::printf("Pareto frontier: %zu points (IPC vs energy vs "
+                    "area)\n\n", res.frontier.size());
+        printFrontier(res);
+    }
+
+    if (!opt.out_path.empty())
+        harness::writeTextFile(opt.out_path, res.dumpAs(opt.format));
+    return 0;
+}

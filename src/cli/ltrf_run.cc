@@ -55,7 +55,9 @@ Execution:
   --no-normalize     skip the baseline runs and report raw IPC
 
 Output:
-  --json PATH        write the ResultSet as JSON ("-" for stdout)
+  --out PATH         write the ResultSet to PATH ("-" for stdout)
+  --format F         json | csv (default: json)
+  --json PATH        shorthand for --out PATH --format json
   --quiet            suppress the result table
   --list             list workloads and designs, then exit
   --help             show this message
@@ -91,7 +93,8 @@ struct Options
     int jobs = 0;
     bool normalize = true;
     bool quiet = false;
-    std::string json_path;
+    std::string out_path;
+    OutputFormat format = OutputFormat::JSON;
 };
 
 Options
@@ -146,8 +149,16 @@ parseArgs(int argc, char **argv)
                            "concurrency)");
         } else if (a == "--no-normalize") {
             opt.normalize = false;
+        } else if (a == "--out") {
+            opt.out_path = value(i);
+        } else if (a == "--format") {
+            std::string v = value(i);
+            if (!parseOutputFormat(v, opt.format))
+                usageError("unknown format \"" + v +
+                           "\" (expected json or csv)");
         } else if (a == "--json") {
-            opt.json_path = value(i);
+            opt.out_path = value(i);
+            opt.format = OutputFormat::JSON;
         } else if (a == "--quiet") {
             opt.quiet = true;
         } else if (a == "--list") {
@@ -220,7 +231,7 @@ main(int argc, char **argv)
         }
     }
 
-    if (!opt.json_path.empty())
-        rs.writeJsonFile(opt.json_path);
+    if (!opt.out_path.empty())
+        rs.writeFile(opt.out_path, opt.format);
     return 0;
 }

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Small shared string helpers (the CLI parsers all want
+ * case-insensitive token matching).
+ */
+
+#ifndef LTRF_COMMON_STRUTIL_HH
+#define LTRF_COMMON_STRUTIL_HH
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+namespace ltrf
+{
+
+/** @return @p s lowercased byte-wise (ASCII; tokens only). */
+inline std::string
+lowered(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+} // namespace ltrf
+
+#endif // LTRF_COMMON_STRUTIL_HH

@@ -1,0 +1,517 @@
+#include "dse/explorer.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+#include "harness/runner.hh"
+#include "tech/energy_model.hh"
+#include "workloads/workload.hh"
+
+namespace ltrf::dse
+{
+
+using harness::Json;
+
+namespace
+{
+
+/**
+ * Candidates are admitted in fixed-size batches: pruning and
+ * frontier updates happen only at batch boundaries, so decisions
+ * depend on batch order alone — never on the job count. The batch
+ * size is a constant for the same reason.
+ */
+constexpr std::size_t POINT_BATCH = 16;
+
+/** Per-workload baseline measurements (BL on configuration #1). */
+struct BaselineRow
+{
+    double ipc = 0.0;
+    double main_rate = 0.0;
+};
+
+/** Analytic summary used by the model-dominance pruning heuristic. */
+struct PruneEntry
+{
+    int cache_kb;
+    PrefetchPolicy policy;
+    int active_warps;
+    int capacity;
+    int banks_mult;
+    double latency;
+    double area;
+    double power;
+};
+
+/** Evaluates design points across the suite, memoizing by simKey. */
+class Evaluator
+{
+  public:
+    Evaluator(const ExploreOptions &opt,
+              std::vector<std::string> workload_names)
+        : runner(opt.jobs), names(std::move(workload_names)),
+          num_sms(opt.num_sms), seed(opt.seed)
+    {
+        computeBaselines();
+    }
+
+    /**
+     * Evaluate @p points (deduplicated by the caller): simulate the
+     * distinct configurations across all workloads on the pool, then
+     * fold each point's rows into its objective vector.
+     */
+    std::vector<PointResult>
+    evaluate(const std::vector<DesignPoint> &points)
+    {
+        // Collect configurations this batch still needs to simulate.
+        std::vector<harness::SweepCell> cells;
+        std::vector<std::string> fresh_keys;
+        for (const DesignPoint &p : points) {
+            SimConfig cfg = configFor(p, num_sms);
+            const std::string key = simKey(cfg);
+            if (sim_cache.count(key) ||
+                std::find(fresh_keys.begin(), fresh_keys.end(), key) !=
+                        fresh_keys.end()) {
+                sim_reuse++;
+                continue;
+            }
+            fresh_keys.push_back(key);
+            for (const std::string &w : names) {
+                harness::SweepCell c;
+                c.index = static_cast<int>(cells.size());
+                c.workload = w;
+                c.tag = key;
+                c.config = cfg;
+                c.seed = seed;
+                cells.push_back(std::move(c));
+            }
+        }
+
+        harness::ResultSet rs = runner.run(cells);
+        sim_cells += cells.size();
+        for (std::size_t k = 0; k < fresh_keys.size(); k++) {
+            std::vector<SimResult> rows;
+            for (std::size_t w = 0; w < names.size(); w++)
+                rows.push_back(
+                        rs.rows()[k * names.size() + w].result);
+            sim_cache.emplace(fresh_keys[k], std::move(rows));
+        }
+
+        std::vector<PointResult> out;
+        out.reserve(points.size());
+        for (const DesignPoint &p : points)
+            out.push_back(fold(p));
+        return out;
+    }
+
+    std::uint64_t simCells() const { return sim_cells; }
+    std::uint64_t simReuse() const { return sim_reuse; }
+    const harness::ExperimentRunner &experimentRunner() const
+    {
+        return runner;
+    }
+
+  private:
+    void
+    computeBaselines()
+    {
+        std::vector<harness::SweepCell> cells;
+        for (const std::string &w : names) {
+            harness::SweepCell c;
+            c.index = static_cast<int>(cells.size());
+            c.workload = w;
+            c.tag = "baseline";
+            c.config.num_sms = num_sms;
+            c.config.design = RfDesign::BL;
+            c.seed = seed;
+            cells.push_back(std::move(c));
+        }
+        harness::ResultSet rs = runner.run(cells);
+        sim_cells += cells.size();
+        for (std::size_t w = 0; w < names.size(); w++) {
+            const SimResult &r = rs.rows()[w].result;
+            ltrf_assert(r.ipc > 0.0, "baseline IPC of %s is zero",
+                        names[w].c_str());
+            baselines.push_back(
+                    {r.ipc, r.activity.main_accesses_per_cycle});
+        }
+    }
+
+    /** Fold @p p's cached per-workload rows into objectives. */
+    PointResult
+    fold(const DesignPoint &p)
+    {
+        PointResult pr;
+        pr.point = p;
+        pr.model = makeRfConfig(p.modelPoint());
+        const bool cached_design =
+                usesRegCache(policyDesign(p.policy));
+
+        const std::vector<SimResult> &rows =
+                sim_cache.at(simKey(configFor(p, num_sms)));
+        std::vector<double> norm_ipc;
+        double energy_sum = 0.0;
+        for (std::size_t w = 0; w < names.size(); w++) {
+            const SimResult &r = rows[w];
+            norm_ipc.push_back(r.ipc / baselines[w].ipc);
+            // rfPower() is normalized so the baseline design on
+            // configuration #1 at the baseline access rate is 1.0,
+            // so the per-workload quotient is rfPower itself.
+            energy_sum += rfPower(pr.model, r.activity, cached_design,
+                                  baselines[w].main_rate);
+        }
+        pr.obj.ipc = harness::ResultSet::geomean(norm_ipc);
+        pr.obj.energy =
+                energy_sum / static_cast<double>(names.size());
+        // The 256KB baseline array is area 1.0; a cache-based design
+        // spends cache_kb more KB of HP-SRAM next to the cores.
+        pr.obj.area =
+                pr.model.area +
+                (cached_design ? p.cache_kb / 256.0 : 0.0);
+        return pr;
+    }
+
+    harness::ExperimentRunner runner;
+    std::vector<std::string> names;
+    int num_sms;
+    std::uint64_t seed;
+    std::vector<BaselineRow> baselines;
+    std::map<std::string, std::vector<SimResult>> sim_cache;
+    std::uint64_t sim_cells = 0;
+    std::uint64_t sim_reuse = 0;
+};
+
+/**
+ * True if an already-evaluated entry makes simulating @p c
+ * pointless: same cache/policy/warp axes, at least as much capacity
+ * and banking, no more latency, and no more area or power — under
+ * the model's monotonicity, such an entry is at least as good on
+ * every objective. A heuristic (activity-dependent power can in
+ * principle reorder), so exhaustive grids leave it off.
+ */
+bool
+modelDominated(const std::vector<PruneEntry> &entries,
+               const PruneEntry &c)
+{
+    for (const PruneEntry &e : entries) {
+        if (e.cache_kb != c.cache_kb || e.policy != c.policy ||
+            e.active_warps != c.active_warps)
+            continue;
+        if (e.capacity < c.capacity || e.banks_mult < c.banks_mult ||
+            e.latency > c.latency || e.area > c.area ||
+            e.power > c.power)
+            continue;
+        if (e.capacity > c.capacity || e.banks_mult > c.banks_mult ||
+            e.latency < c.latency || e.area < c.area ||
+            e.power < c.power)
+            return true;
+    }
+    return false;
+}
+
+PruneEntry
+pruneEntryFor(const DesignPoint &p)
+{
+    const RfConfig rc = makeRfConfig(p.modelPoint());
+    PruneEntry e;
+    e.cache_kb = p.cache_kb;
+    e.policy = p.policy;
+    e.active_warps = p.active_warps;
+    e.capacity = p.banks_mult * p.bank_size_mult;
+    e.banks_mult = p.banks_mult;
+    e.latency = rc.latency;
+    e.area = rc.area;
+    e.power = rc.power;
+    return e;
+}
+
+Json
+pointToJson(const PointResult &pr)
+{
+    const DesignPoint &p = pr.point;
+    Json j = Json::object();
+    j.set("key", p.key());
+    j.set("tech", cellTechName(p.tech));
+    j.set("banks_mult", p.banks_mult);
+    j.set("bank_size_mult", p.bank_size_mult);
+    j.set("network", pr.model.network);
+    j.set("cache_kb", p.cache_kb);
+    j.set("policy", prefetchPolicyName(p.policy));
+    j.set("active_warps", p.active_warps);
+    j.set("rf_config", pr.model.id);
+    j.set("capacity", pr.model.capacity);
+    j.set("area", pr.model.area);
+    j.set("power", pr.model.power);
+    j.set("latency", pr.model.latency);
+    j.set("ipc", pr.obj.ipc);
+    j.set("energy", pr.obj.energy);
+    j.set("total_area", pr.obj.area);
+    j.set("frontier", pr.on_frontier);
+    return j;
+}
+
+} // namespace
+
+const char *
+strategyName(Strategy s)
+{
+    switch (s) {
+      case Strategy::GRID:       return "grid";
+      case Strategy::RANDOM:     return "random";
+      case Strategy::HILL_CLIMB: return "hill";
+    }
+    return "?";
+}
+
+bool
+parseStrategy(const std::string &name, Strategy &out)
+{
+    const std::string low = lowered(name);
+    if (low == "grid") {
+        out = Strategy::GRID;
+        return true;
+    }
+    if (low == "random") {
+        out = Strategy::RANDOM;
+        return true;
+    }
+    if (low == "hill" || low == "hillclimb" || low == "hill-climb") {
+        out = Strategy::HILL_CLIMB;
+        return true;
+    }
+    return false;
+}
+
+DseResult
+explore(const DesignSpace &space, const ExploreOptions &opt)
+{
+    space.validate();
+    if (opt.strategy != Strategy::GRID && opt.budget == 0)
+        ltrf_fatal("--budget is required for the %s strategy (grid "
+                   "alone may walk the whole space)",
+                   strategyName(opt.strategy));
+
+    std::vector<std::string> names = opt.workloads;
+    if (names.empty())
+        for (const Workload &w : WorkloadSuite::all())
+            names.push_back(w.name);
+    else
+        for (const std::string &n : names)
+            WorkloadSuite::byName(n);    // fatal(), listing names
+
+    DseResult res;
+    res.strategy = opt.strategy;
+    res.budget = opt.budget;
+    res.seed = opt.seed;
+    res.workloads = names;
+    res.num_sms = opt.num_sms;
+    res.prune = opt.prune < 0 ? opt.strategy != Strategy::GRID
+                              : opt.prune > 0;
+    res.space_size = space.size();
+
+    Evaluator ev(opt, names);
+    ParetoFrontier frontier;
+    std::vector<PruneEntry> prune_entries;
+
+    // Distinct candidates admitted so far (evaluated + pruned);
+    // the budget caps this count.
+    std::uint64_t considered = 0;
+
+    auto processBatch = [&](const std::vector<DesignPoint> &batch) {
+        considered += batch.size();
+        std::vector<DesignPoint> kept;
+        for (const DesignPoint &p : batch) {
+            if (res.prune &&
+                modelDominated(prune_entries, pruneEntryFor(p))) {
+                res.pruned++;
+                continue;
+            }
+            kept.push_back(p);
+        }
+        for (PointResult &pr : ev.evaluate(kept)) {
+            const int idx = static_cast<int>(res.evaluated.size());
+            frontier.insert(idx, pr.obj);
+            prune_entries.push_back(pruneEntryFor(pr.point));
+            res.evaluated.push_back(std::move(pr));
+        }
+    };
+
+    auto processAll = [&](const std::vector<DesignPoint> &cands) {
+        for (std::size_t i = 0; i < cands.size(); i += POINT_BATCH) {
+            std::vector<DesignPoint> batch(
+                    cands.begin() + static_cast<std::ptrdiff_t>(i),
+                    cands.begin() +
+                            static_cast<std::ptrdiff_t>(std::min(
+                                    i + POINT_BATCH, cands.size())));
+            processBatch(batch);
+        }
+    };
+
+    switch (opt.strategy) {
+      case Strategy::GRID: {
+          processAll(space.enumerate(opt.budget));
+          break;
+      }
+      case Strategy::RANDOM: {
+          Rng rng(opt.seed);
+          std::set<std::string> seen;
+          std::vector<DesignPoint> cands;
+          // Distinct-point rejection sampling; the attempt cap only
+          // matters when the budget nears the space size.
+          std::uint64_t attempts = 0;
+          const std::uint64_t max_attempts = opt.budget * 64 + 1024;
+          while (cands.size() < opt.budget &&
+                 seen.size() < space.size() &&
+                 attempts++ < max_attempts) {
+              DesignPoint p = space.sample(rng);
+              if (seen.insert(p.key()).second)
+                  cands.push_back(p);
+          }
+          processAll(cands);
+          break;
+      }
+      case Strategy::HILL_CLIMB: {
+          Rng rng(opt.seed);
+          std::set<std::string> seen;
+          std::set<std::string> expanded;
+          DesignPoint start = space.pointAt(0);
+          seen.insert(start.key());
+          processBatch({start});
+          while (considered < opt.budget) {
+              // First frontier member (best IPC) not yet expanded.
+              const DesignPoint *pick = nullptr;
+              for (const ParetoFrontier::Member &m :
+                   frontier.members()) {
+                  const DesignPoint &p =
+                          res.evaluated[static_cast<std::size_t>(
+                                                m.point_index)]
+                                  .point;
+                  if (!expanded.count(p.key())) {
+                      pick = &p;
+                      break;
+                  }
+              }
+              if (pick) {
+                  expanded.insert(pick->key());
+                  std::vector<DesignPoint> cands;
+                  for (const DesignPoint &n : space.neighbors(*pick)) {
+                      if (considered + cands.size() >= opt.budget)
+                          break;
+                      if (seen.insert(n.key()).second)
+                          cands.push_back(n);
+                  }
+                  if (!cands.empty())
+                      processBatch(cands);
+                  continue;
+              }
+              // Every frontier member expanded: seeded restart.
+              bool restarted = false;
+              for (int tries = 0;
+                   tries < 256 && seen.size() < space.size();
+                   tries++) {
+                  DesignPoint p = space.sample(rng);
+                  if (seen.insert(p.key()).second) {
+                      processBatch({p});
+                      restarted = true;
+                      break;
+                  }
+              }
+              if (!restarted)
+                  break;    // space exhausted
+          }
+          break;
+      }
+    }
+
+    for (const ParetoFrontier::Member &m : frontier.members()) {
+        res.frontier.push_back(m.point_index);
+        res.evaluated[static_cast<std::size_t>(m.point_index)]
+                .on_frontier = true;
+    }
+    res.sim_reuse = ev.simReuse();
+    res.sim_cells = ev.simCells();
+    return res;
+}
+
+Json
+DseResult::toJson() const
+{
+    Json root = Json::object();
+    root.set("schema", "ltrf.dse.v1");
+    root.set("strategy", strategyName(strategy));
+    root.set("budget", budget);
+    // As a string, like ResultSet seeds: doubles round above 2^53.
+    root.set("seed", std::to_string(seed));
+    root.set("num_sms", num_sms);
+    root.set("prune", prune);
+    root.set("space_size", space_size);
+    Json wl = Json::array();
+    for (const std::string &w : workloads)
+        wl.push(w);
+    root.set("workloads", std::move(wl));
+
+    Json counters = Json::object();
+    counters.set("evaluated", std::uint64_t{evaluated.size()});
+    counters.set("pruned", pruned);
+    counters.set("sim_reuse", sim_reuse);
+    counters.set("sim_cells", sim_cells);
+    root.set("counters", std::move(counters));
+
+    Json pts = Json::array();
+    for (const PointResult &pr : evaluated)
+        pts.push(pointToJson(pr));
+    root.set("points", std::move(pts));
+
+    Json front = Json::array();
+    for (int idx : frontier)
+        front.push(evaluated[static_cast<std::size_t>(idx)]
+                           .point.key());
+    root.set("frontier", std::move(front));
+    return root;
+}
+
+std::string
+DseResult::toCsv() const
+{
+    // Header and rows walk pointToJson()'s keys, so the column set
+    // cannot drift from the JSON schema.
+    std::string out;
+    for (std::size_t i = 0; i < evaluated.size(); i++) {
+        const Json j = pointToJson(evaluated[i]);
+        if (i == 0) {
+            bool first = true;
+            for (const auto &[key, v] : j.items()) {
+                (void)v;
+                if (!first)
+                    out += ',';
+                first = false;
+                out += key;
+            }
+            out += '\n';
+        }
+        bool first = true;
+        for (const auto &[key, v] : j.items()) {
+            (void)key;
+            if (!first)
+                out += ',';
+            first = false;
+            out += v.type() == Json::Type::STRING ? v.asString()
+                                                  : v.dump();
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+DseResult::dumpAs(harness::OutputFormat format) const
+{
+    return format == harness::OutputFormat::CSV
+                   ? toCsv()
+                   : toJson().dump(2) + "\n";
+}
+
+} // namespace ltrf::dse

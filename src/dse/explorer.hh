@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Design-space exploration driver.
+ *
+ * The explorer evaluates candidate DesignPoints across the workload
+ * suite on the harness thread pool and maintains the
+ * IPC/energy/area Pareto frontier incrementally. Three strategies:
+ *
+ *  - GRID:       walk the (restricted) space exhaustively in
+ *                enumeration order, up to the budget.
+ *  - RANDOM:     seeded uniform sampling of distinct points.
+ *  - HILL_CLIMB: expand single-step neighborhoods of frontier
+ *                members, with seeded random restarts when every
+ *                frontier member has been expanded.
+ *
+ * Cost controls: points whose simulated configuration is identical
+ * (simKey) are simulated once and share results; RANDOM and
+ * HILL_CLIMB additionally prune candidates whose analytic scalars
+ * are dominated by an already-evaluated point with the same
+ * cache/policy/warp axes (a monotonicity heuristic — disabled by
+ * default for GRID so exhaustive walks really are exhaustive).
+ *
+ * Determinism: all strategy decisions (sampling, pruning, frontier
+ * updates) happen between fixed-size candidate batches, and batch
+ * contents never depend on the job count — so the result, and its
+ * serialized form, is byte-identical for any `--jobs` value.
+ */
+
+#ifndef LTRF_DSE_EXPLORER_HH
+#define LTRF_DSE_EXPLORER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/pareto.hh"
+#include "dse/space.hh"
+#include "harness/emit.hh"
+#include "harness/json.hh"
+
+namespace ltrf::dse
+{
+
+enum class Strategy
+{
+    GRID,
+    RANDOM,
+    HILL_CLIMB,
+};
+
+/** @return "grid", "random", or "hill". */
+const char *strategyName(Strategy s);
+
+/** Parse "grid" / "random" / "hill" (case-insensitive). */
+bool parseStrategy(const std::string &name, Strategy &out);
+
+struct ExploreOptions
+{
+    Strategy strategy = Strategy::GRID;
+
+    /**
+     * Maximum distinct candidate points considered. 0 means "the
+     * whole space" for GRID and is a user error for the other
+     * strategies (an unbounded random walk is never intended).
+     */
+    std::uint64_t budget = 0;
+
+    /** Search seed: drives sampling, restarts, and workload traces. */
+    std::uint64_t seed = 2018;
+
+    /** Workload names; empty = the full 14-workload suite. */
+    std::vector<std::string> workloads;
+
+    int num_sms = 4;
+
+    /** Worker threads (0 = hardware concurrency). Results do not
+     *  depend on it. */
+    int jobs = 0;
+
+    /** -1 = per-strategy default (GRID off, others on); 0/1 force. */
+    int prune = -1;
+};
+
+/** One evaluated design point. */
+struct PointResult
+{
+    DesignPoint point;
+    /** Generated RF scalars; id != 0 marks a published Table 2 row. */
+    RfConfig model;
+    Objectives obj;
+    bool on_frontier = false;
+};
+
+/** The outcome of an exploration. */
+struct DseResult
+{
+    // Inputs, echoed for the report.
+    Strategy strategy = Strategy::GRID;
+    std::uint64_t budget = 0;
+    std::uint64_t seed = 0;
+    std::vector<std::string> workloads;
+    int num_sms = 0;
+    bool prune = false;
+    std::uint64_t space_size = 0;
+
+    /** Evaluated points, in evaluation order. */
+    std::vector<PointResult> evaluated;
+    /** Indices into evaluated, IPC-descending (frontier order). */
+    std::vector<int> frontier;
+
+    // Cost counters.
+    std::uint64_t pruned = 0;       ///< candidates skipped by dominance
+    std::uint64_t sim_reuse = 0;    ///< points served from the sim cache
+    std::uint64_t sim_cells = 0;    ///< (config, workload) cells simulated
+
+    /** Deterministic report (schema ltrf.dse.v1). */
+    harness::Json toJson() const;
+    /** One row per evaluated point, frontier flag included. */
+    std::string toCsv() const;
+    /** toJson().dump(2)+"\n" or toCsv() per @p format. */
+    std::string dumpAs(harness::OutputFormat format) const;
+};
+
+/**
+ * Run the exploration. fatal() on invalid spaces, unknown workload
+ * names, or a missing budget for non-grid strategies.
+ */
+DseResult explore(const DesignSpace &space, const ExploreOptions &opt);
+
+} // namespace ltrf::dse
+
+#endif // LTRF_DSE_EXPLORER_HH

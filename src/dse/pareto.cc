@@ -1,0 +1,47 @@
+#include "dse/pareto.hh"
+
+#include <algorithm>
+
+namespace ltrf::dse
+{
+
+bool
+dominates(const Objectives &a, const Objectives &b)
+{
+    if (a.ipc < b.ipc || a.energy > b.energy || a.area > b.area)
+        return false;
+    return a.ipc > b.ipc || a.energy < b.energy || a.area < b.area;
+}
+
+bool
+ParetoFrontier::dominated(const Objectives &obj) const
+{
+    for (const Member &m : members_)
+        if (dominates(m.obj, obj))
+            return true;
+    return false;
+}
+
+bool
+ParetoFrontier::insert(int point_index, const Objectives &obj)
+{
+    if (dominated(obj))
+        return false;
+    members_.erase(std::remove_if(members_.begin(), members_.end(),
+                                  [&](const Member &m) {
+                                      return dominates(obj, m.obj);
+                                  }),
+                   members_.end());
+    Member add{point_index, obj};
+    auto pos = std::lower_bound(
+            members_.begin(), members_.end(), add,
+            [](const Member &a, const Member &b) {
+                if (a.obj.ipc != b.obj.ipc)
+                    return a.obj.ipc > b.obj.ipc;
+                return a.point_index < b.point_index;
+            });
+    members_.insert(pos, add);
+    return true;
+}
+
+} // namespace ltrf::dse

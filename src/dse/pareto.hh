@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Incremental Pareto frontier over the three DSE objectives:
+ * normalized IPC (maximize), normalized register file energy
+ * (minimize), and relative area including the register cache
+ * (minimize).
+ *
+ * The frontier is maintained incrementally — every evaluated point
+ * is offered once, dominated members are evicted on insert — and is
+ * kept in a deterministic order (IPC descending, insertion index as
+ * the tiebreak) so that serialized frontiers are byte-identical
+ * regardless of thread count.
+ */
+
+#ifndef LTRF_DSE_PARETO_HH
+#define LTRF_DSE_PARETO_HH
+
+#include <vector>
+
+namespace ltrf::dse
+{
+
+/** One point's objective vector. */
+struct Objectives
+{
+    double ipc = 0.0;       ///< geomean normalized IPC (maximize)
+    double energy = 0.0;    ///< mean normalized RF power (minimize)
+    double area = 0.0;      ///< RF + cache area, baseline = 1 (minimize)
+};
+
+/**
+ * @return true if @p a dominates @p b: no worse in every objective
+ * and strictly better in at least one.
+ */
+bool dominates(const Objectives &a, const Objectives &b);
+
+class ParetoFrontier
+{
+  public:
+    struct Member
+    {
+        int point_index;    ///< caller's identifier (evaluation order)
+        Objectives obj;
+    };
+
+    /**
+     * Offer a point. If no member dominates it, it joins the
+     * frontier (evicting members it dominates) and insert() returns
+     * true. Points with identical objectives co-exist: neither
+     * dominates the other.
+     */
+    bool insert(int point_index, const Objectives &obj);
+
+    /** @return true if some member dominates @p obj. */
+    bool dominated(const Objectives &obj) const;
+
+    /** Members ordered by IPC descending, then insertion index. */
+    const std::vector<Member> &members() const { return members_; }
+
+    std::size_t size() const { return members_.size(); }
+
+  private:
+    std::vector<Member> members_;
+};
+
+} // namespace ltrf::dse
+
+#endif // LTRF_DSE_PARETO_HH

@@ -1,0 +1,313 @@
+#include "dse/space.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+#include "common/types.hh"
+#include "harness/json.hh"
+
+namespace ltrf::dse
+{
+
+namespace
+{
+
+/** Index of @p v in @p axis, or -1. */
+template <typename T>
+int
+axisIndex(const std::vector<T> &axis, const T &v)
+{
+    for (std::size_t i = 0; i < axis.size(); i++)
+        if (axis[i] == v)
+            return static_cast<int>(i);
+    return -1;
+}
+
+} // namespace
+
+const char *
+prefetchPolicyName(PrefetchPolicy p)
+{
+    switch (p) {
+      case PrefetchPolicy::NONE:          return "none";
+      case PrefetchPolicy::HW_CACHE:      return "rfc";
+      case PrefetchPolicy::SW_CACHE:      return "shrf";
+      case PrefetchPolicy::STRAND:        return "strand";
+      case PrefetchPolicy::INTERVAL:      return "interval";
+      case PrefetchPolicy::INTERVAL_PLUS: return "interval+";
+    }
+    return "?";
+}
+
+RfDesign
+policyDesign(PrefetchPolicy p)
+{
+    switch (p) {
+      case PrefetchPolicy::NONE:          return RfDesign::BL;
+      case PrefetchPolicy::HW_CACHE:      return RfDesign::RFC;
+      case PrefetchPolicy::SW_CACHE:      return RfDesign::SHRF;
+      case PrefetchPolicy::STRAND:        return RfDesign::LTRF_STRAND;
+      case PrefetchPolicy::INTERVAL:      return RfDesign::LTRF;
+      case PrefetchPolicy::INTERVAL_PLUS: return RfDesign::LTRF_PLUS;
+    }
+    return RfDesign::BL;
+}
+
+const char *
+cellTechToken(CellTech t)
+{
+    switch (t) {
+      case CellTech::HP_SRAM:   return "hp";
+      case CellTech::LSTP_SRAM: return "lstp";
+      case CellTech::TFET_SRAM: return "tfet";
+      case CellTech::DWM:       return "dwm";
+    }
+    return "?";
+}
+
+const char *
+networkToken(NetworkKind n)
+{
+    return n == NetworkKind::FLAT_BUTTERFLY ? "fbfly" : "xbar";
+}
+
+bool
+parseCellTech(const std::string &name, CellTech &out)
+{
+    const std::string want = lowered(name);
+    for (CellTech t : {CellTech::HP_SRAM, CellTech::LSTP_SRAM,
+                       CellTech::TFET_SRAM, CellTech::DWM})
+        if (want == cellTechToken(t)) {
+            out = t;
+            return true;
+        }
+    return false;
+}
+
+bool
+parseNetwork(const std::string &name, NetworkKind &out)
+{
+    const std::string want = lowered(name);
+    if (want == "xbar" || want == "crossbar") {
+        out = NetworkKind::CROSSBAR;
+        return true;
+    }
+    if (want == "fbfly" || want == "butterfly") {
+        out = NetworkKind::FLAT_BUTTERFLY;
+        return true;
+    }
+    return false;
+}
+
+bool
+parsePolicy(const std::string &name, PrefetchPolicy &out)
+{
+    const std::string want = lowered(name);
+    for (PrefetchPolicy p :
+         {PrefetchPolicy::NONE, PrefetchPolicy::HW_CACHE,
+          PrefetchPolicy::SW_CACHE, PrefetchPolicy::STRAND,
+          PrefetchPolicy::INTERVAL, PrefetchPolicy::INTERVAL_PLUS})
+        if (want == prefetchPolicyName(p)) {
+            out = p;
+            return true;
+        }
+    return false;
+}
+
+RfModelPoint
+DesignPoint::modelPoint() const
+{
+    RfModelPoint mp;
+    mp.tech = tech;
+    mp.banks_mult = banks_mult;
+    mp.bank_size_mult = bank_size_mult;
+    mp.network = network;
+    return mp;
+}
+
+std::string
+DesignPoint::key() const
+{
+    std::string k = cellTechToken(tech);
+    k += "/b" + std::to_string(banks_mult);
+    k += "/z" + std::to_string(bank_size_mult);
+    k += "/";
+    k += networkToken(network);
+    k += "/c" + std::to_string(cache_kb);
+    k += "/";
+    k += prefetchPolicyName(policy);
+    k += "/w" + std::to_string(active_warps);
+    return k;
+}
+
+SimConfig
+configFor(const DesignPoint &p, int num_sms)
+{
+    SimConfig cfg;
+    cfg.num_sms = num_sms;
+    cfg.design = policyDesign(p.policy);
+    applyRfModel(cfg, p.modelPoint());
+    cfg.rf_cache_bytes =
+            static_cast<std::size_t>(p.cache_kb) * 1024;
+    cfg.num_active_warps = p.active_warps;
+    // Match the interval budget to the per-warp cache partition, as
+    // the paper's cache-size sweeps do (Figures 12/13).
+    cfg.regs_per_interval = cfg.cacheRegsPerWarp();
+    cfg.validate();
+    return cfg;
+}
+
+std::string
+simKey(const SimConfig &cfg)
+{
+    std::string k = rfDesignName(cfg.design);
+    k += "|cap" + std::to_string(cfg.rf_capacity_mult);
+    k += "|banks" + std::to_string(cfg.num_mrf_banks);
+    k += "|lat" + harness::jsonNumberText(cfg.mrf_latency_mult);
+    k += "|cache" + std::to_string(cfg.rf_cache_bytes);
+    k += "|aw" + std::to_string(cfg.num_active_warps);
+    k += "|ivl" + std::to_string(cfg.regs_per_interval);
+    return k;
+}
+
+DesignSpace
+DesignSpace::defaults()
+{
+    DesignSpace s;
+    s.techs = {CellTech::HP_SRAM, CellTech::LSTP_SRAM,
+               CellTech::TFET_SRAM, CellTech::DWM};
+    s.banks = {1, 2, 4, 8};
+    s.bank_sizes = {1, 2, 4, 8};
+    s.networks = {};    // auto: crossbar at 1x banks, butterfly above
+    s.cache_kbs = {8, 16, 32};
+    s.policies = {PrefetchPolicy::INTERVAL};
+    s.warps = {4, 8, 16};
+    return s;
+}
+
+std::uint64_t
+DesignSpace::size() const
+{
+    const std::uint64_t nets = networks.empty() ? 1 : networks.size();
+    return static_cast<std::uint64_t>(techs.size()) * banks.size() *
+           bank_sizes.size() * nets * cache_kbs.size() *
+           policies.size() * warps.size();
+}
+
+DesignPoint
+DesignSpace::pointAt(std::uint64_t index) const
+{
+    ltrf_assert(index < size(), "design point index %llu out of range",
+                static_cast<unsigned long long>(index));
+    DesignPoint p;
+    // Mixed-radix decode, warps fastest.
+    p.active_warps = warps[index % warps.size()];
+    index /= warps.size();
+    p.policy = policies[index % policies.size()];
+    index /= policies.size();
+    p.cache_kb = cache_kbs[index % cache_kbs.size()];
+    index /= cache_kbs.size();
+    if (networks.empty()) {
+        // network decided by the bank count below
+    } else {
+        p.network = networks[index % networks.size()];
+        index /= networks.size();
+    }
+    p.bank_size_mult = bank_sizes[index % bank_sizes.size()];
+    index /= bank_sizes.size();
+    p.banks_mult = banks[index % banks.size()];
+    index /= banks.size();
+    p.tech = techs[index % techs.size()];
+    if (networks.empty())
+        p.network = defaultNetwork(p.banks_mult);
+    return p;
+}
+
+std::vector<DesignPoint>
+DesignSpace::enumerate(std::uint64_t limit) const
+{
+    const std::uint64_t n =
+            limit > 0 ? std::min(limit, size()) : size();
+    std::vector<DesignPoint> out;
+    out.reserve(n);
+    for (std::uint64_t i = 0; i < n; i++)
+        out.push_back(pointAt(i));
+    return out;
+}
+
+DesignPoint
+DesignSpace::sample(Rng &rng) const
+{
+    return pointAt(rng.nextBounded(size()));
+}
+
+std::vector<DesignPoint>
+DesignSpace::neighbors(const DesignPoint &p) const
+{
+    std::vector<DesignPoint> out;
+    auto step = [&](auto &axis, auto DesignPoint::*field,
+                    bool renet = false) {
+        int i = axisIndex(axis, p.*field);
+        if (i < 0)
+            return;
+        for (int d : {-1, +1}) {
+            int j = i + d;
+            if (j < 0 || j >= static_cast<int>(axis.size()))
+                continue;
+            DesignPoint q = p;
+            q.*field = axis[static_cast<std::size_t>(j)];
+            if (renet && networks.empty())
+                q.network = defaultNetwork(q.banks_mult);
+            out.push_back(q);
+        }
+    };
+    step(techs, &DesignPoint::tech);
+    step(banks, &DesignPoint::banks_mult, /*renet=*/true);
+    step(bank_sizes, &DesignPoint::bank_size_mult);
+    if (!networks.empty())
+        step(networks, &DesignPoint::network);
+    step(cache_kbs, &DesignPoint::cache_kb);
+    step(policies, &DesignPoint::policy);
+    step(warps, &DesignPoint::active_warps);
+    return out;
+}
+
+void
+DesignSpace::validate() const
+{
+    if (techs.empty() || banks.empty() || bank_sizes.empty() ||
+        cache_kbs.empty() || policies.empty() || warps.empty())
+        ltrf_fatal("design space has an empty axis");
+    auto pow2 = [](int v) { return v >= 1 && (v & (v - 1)) == 0; };
+    for (int b : banks)
+        if (!pow2(b) || b > 64)
+            ltrf_fatal("banks multiplier %d must be a power of two "
+                       "in [1, 64]", b);
+    for (int z : bank_sizes)
+        if (!pow2(z) || z > 64)
+            ltrf_fatal("bank-size multiplier %d must be a power of "
+                       "two in [1, 64]", z);
+    SimConfig def;
+    for (int w : warps)
+        if (w < 1 || w > def.max_warps_per_sm)
+            ltrf_fatal("active warp count %d out of range [1, %d]", w,
+                       def.max_warps_per_sm);
+    for (int c : cache_kbs) {
+        if (c < 1)
+            ltrf_fatal("register cache size %dKB out of range", c);
+        const int regs = c * 1024 / BYTES_PER_WARP_REG;
+        for (int w : warps) {
+            if (regs % w != 0)
+                ltrf_fatal("register cache (%d regs at %dKB) not "
+                           "divisible by %d active warps", regs, c, w);
+            const int per_warp = regs / w;
+            if (per_warp < 1 || per_warp > MAX_ARCH_REGS)
+                ltrf_fatal("per-warp cache partition %d regs (cache "
+                           "%dKB, %d warps) out of range", per_warp,
+                           c, w);
+        }
+    }
+}
+
+} // namespace ltrf::dse

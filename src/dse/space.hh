@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The LTRF design space: the cross product of the parametric
+ * register file axes (cell technology x bank count x bank size x
+ * network, via tech/rf_model) with the microarchitectural knobs the
+ * paper sweeps one at a time (register cache size, prefetch policy,
+ * active warp count — Figures 12-14).
+ *
+ * A DesignSpace is a set of allowed values per axis; it enumerates
+ * deterministically (lexicographic, tech-major), samples uniformly,
+ * and yields single-step neighborhoods for hill-climbing. Points are
+ * identified by a stable key string used for deduplication, tagging
+ * sweep cells, and report output.
+ */
+
+#ifndef LTRF_DSE_SPACE_HH
+#define LTRF_DSE_SPACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "tech/rf_model.hh"
+
+namespace ltrf::dse
+{
+
+/**
+ * How registers reach the operand collectors ahead of demand. Maps
+ * onto the RfDesign the simulator implements; IDEAL is deliberately
+ * absent — it is an oracle, not a buildable design point.
+ */
+enum class PrefetchPolicy
+{
+    NONE,           ///< no register cache (BL)
+    HW_CACHE,       ///< demand-filled hardware cache (RFC)
+    SW_CACHE,       ///< software-managed cache, strand allocation (SHRF)
+    STRAND,         ///< LTRF prefetch at strand boundaries
+    INTERVAL,       ///< LTRF prefetch at register-interval boundaries
+    INTERVAL_PLUS,  ///< operand-liveness-aware LTRF (LTRF+)
+};
+
+/** @return the CLI token: "none", "rfc", "shrf", "strand", ... */
+const char *prefetchPolicyName(PrefetchPolicy p);
+
+/** The RfDesign the simulator runs for @p p. */
+RfDesign policyDesign(PrefetchPolicy p);
+
+/** @return the CLI token: "hp", "lstp", "tfet", "dwm". */
+const char *cellTechToken(CellTech t);
+
+/** @return the CLI token: "xbar" or "fbfly". */
+const char *networkToken(NetworkKind n);
+
+// Case-insensitive token parsers; return false on unknown names.
+bool parseCellTech(const std::string &name, CellTech &out);
+bool parseNetwork(const std::string &name, NetworkKind &out);
+bool parsePolicy(const std::string &name, PrefetchPolicy &out);
+
+/** One candidate design: RF organization + cache/policy/warp knobs. */
+struct DesignPoint
+{
+    CellTech tech = CellTech::HP_SRAM;
+    int banks_mult = 1;
+    int bank_size_mult = 1;
+    NetworkKind network = NetworkKind::CROSSBAR;
+    int cache_kb = 16;
+    PrefetchPolicy policy = PrefetchPolicy::INTERVAL;
+    int active_warps = 8;
+
+    /** The tech-layer axes of this point. */
+    RfModelPoint modelPoint() const;
+
+    /** Stable identity, e.g. "tfet/b8/z1/fbfly/c16/interval/w8". */
+    std::string key() const;
+
+    bool operator==(const DesignPoint &o) const = default;
+};
+
+/**
+ * Materialize the simulated configuration for @p p at @p num_sms
+ * SMs: the generated RF scalars (capacity, latency, banks), the
+ * cache size and active-warp pool, and a register-interval budget
+ * matched to the per-warp cache partition (the Figure 12/13
+ * methodology).
+ */
+SimConfig configFor(const DesignPoint &p, int num_sms);
+
+/**
+ * Simulation-equivalence key of @p cfg: two design points with equal
+ * sim keys produce identical simulations (e.g. crossbar vs butterfly
+ * at 1x banks, where the latency model coincides), so the explorer
+ * simulates once and reuses the results.
+ */
+std::string simKey(const SimConfig &cfg);
+
+/** Allowed values per axis; the cross product is the search space. */
+struct DesignSpace
+{
+    std::vector<CellTech> techs;
+    std::vector<int> banks;         ///< banks_mult values
+    std::vector<int> bank_sizes;    ///< bank_size_mult values
+    /**
+     * Empty means "auto": each point gets defaultNetwork() for its
+     * bank count (the paper's pairing) instead of a network axis.
+     */
+    std::vector<NetworkKind> networks;
+    std::vector<int> cache_kbs;
+    std::vector<PrefetchPolicy> policies;
+    std::vector<int> warps;
+
+    /**
+     * The full space: all four technologies, 1-8x banks and bank
+     * sizes, auto network, 8-32KB caches, interval prefetch, 4-16
+     * active warps.
+     */
+    static DesignSpace defaults();
+
+    /** Number of points (product of axis sizes). */
+    std::uint64_t size() const;
+
+    /**
+     * The @p index-th point in lexicographic order (tech-major, then
+     * banks, bank size, network, cache, policy, warps).
+     */
+    DesignPoint pointAt(std::uint64_t index) const;
+
+    /** All points in pointAt() order (optionally the first @p limit). */
+    std::vector<DesignPoint> enumerate(std::uint64_t limit = 0) const;
+
+    /** A uniform sample (deterministic given @p rng's state). */
+    DesignPoint sample(Rng &rng) const;
+
+    /**
+     * All points one axis step away from @p p (previous/next allowed
+     * value per axis), in a deterministic order. Axes where @p p's
+     * value is not in the allowed list contribute no neighbors.
+     */
+    std::vector<DesignPoint> neighbors(const DesignPoint &p) const;
+
+    /** fatal() on empty axes or values the simulator cannot run. */
+    void validate() const;
+};
+
+} // namespace ltrf::dse
+
+#endif // LTRF_DSE_SPACE_HH

@@ -1,0 +1,50 @@
+#include "harness/emit.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+
+namespace ltrf::harness
+{
+
+const char *
+outputFormatName(OutputFormat f)
+{
+    return f == OutputFormat::CSV ? "csv" : "json";
+}
+
+bool
+parseOutputFormat(const std::string &s, OutputFormat &out)
+{
+    const std::string low = lowered(s);
+    if (low == "json") {
+        out = OutputFormat::JSON;
+        return true;
+    }
+    if (low == "csv") {
+        out = OutputFormat::CSV;
+        return true;
+    }
+    return false;
+}
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    if (path == "-") {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        ltrf_fatal("cannot open %s for writing: %s", path.c_str(),
+                   std::strerror(errno));
+    std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    if (n != text.size() || std::fclose(f) != 0)
+        ltrf_fatal("short write to %s", path.c_str());
+}
+
+} // namespace ltrf::harness

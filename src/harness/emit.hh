@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared output plumbing for the CLIs (`ltrf_run`, `ltrf_dse`):
+ * the `--format json|csv` selector and the "-"-means-stdout file
+ * writer both drivers use, so their emit behaviour cannot drift
+ * apart.
+ */
+
+#ifndef LTRF_HARNESS_EMIT_HH
+#define LTRF_HARNESS_EMIT_HH
+
+#include <string>
+
+namespace ltrf::harness
+{
+
+enum class OutputFormat
+{
+    JSON,
+    CSV,
+};
+
+/** @return "json" or "csv". */
+const char *outputFormatName(OutputFormat f);
+
+/**
+ * Parse a `--format` value (case-insensitive "json" or "csv") into
+ * @p out. @return false on an unrecognized name, leaving @p out
+ * untouched, so CLIs can issue their own usage error.
+ */
+bool parseOutputFormat(const std::string &s, OutputFormat &out);
+
+/**
+ * Write @p text to @p path; "-" writes to stdout. fatal() on I/O
+ * errors — a sweep whose results cannot be saved should not report
+ * success.
+ */
+void writeTextFile(const std::string &path, const std::string &text);
+
+} // namespace ltrf::harness
+
+#endif // LTRF_HARNESS_EMIT_HH

@@ -494,6 +494,14 @@ Json::parse(std::string_view text)
     return Parser(text).parse();
 }
 
+std::string
+jsonNumberText(double d)
+{
+    std::string out;
+    appendNumber(out, d);
+    return out;
+}
+
 bool
 Json::operator==(const Json &o) const
 {

@@ -98,6 +98,13 @@ class Json
     std::vector<std::pair<std::string, Json>> obj_;
 };
 
+/**
+ * The writer's canonical number formatting (integers without a
+ * decimal point, everything else %.17g), exposed so the CSV emitter
+ * produces byte-identical numbers to the JSON one.
+ */
+std::string jsonNumberText(double d);
+
 } // namespace ltrf::harness
 
 #endif // LTRF_HARNESS_JSON_HH

@@ -240,21 +240,65 @@ ResultSet::dumpJson() const
     return toJson().dump(2) + "\n";
 }
 
+std::string
+ResultSet::toCsv() const
+{
+    // The one source of the CSV column set: the superset of
+    // cellToJson() keys (tag and the normalization columns are
+    // conditional there and emit as empty cells here). Header and
+    // rows both walk it, so they cannot drift apart.
+    static constexpr const char *COLUMNS[] = {
+            "workload", "design", "rf_config", "latency_mult", "tag",
+            "num_sms", "seed", "cycles", "instructions", "ipc",
+            "resident_warps", "main_accesses", "cache_accesses",
+            "wcb_accesses", "xfer_regs", "prefetch_ops",
+            "writeback_regs", "prefetch_stall_cycles",
+            "cache_hit_rate", "l1d_hit_rate",
+            "main_accesses_per_cycle", "cache_accesses_per_cycle",
+            "wcb_accesses_per_cycle", "xfer_regs_per_cycle",
+            "baseline_ipc", "normalized_ipc"};
+
+    std::string out;
+    bool first = true;
+    for (const char *key : COLUMNS) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += key;
+    }
+    out += '\n';
+
+    for (const ResultRow &row : rows_) {
+        // Walk the JSON cell so CSV numbers are byte-identical to
+        // the JSON writer's.
+        const Json j = cellToJson(row);
+        first = true;
+        for (const char *key : COLUMNS) {
+            if (!first)
+                out += ',';
+            first = false;
+            if (!j.contains(key))
+                continue;
+            const Json &v = j.at(key);
+            out += v.type() == Json::Type::STRING ? v.asString()
+                                                  : v.dump();
+        }
+        out += '\n';
+    }
+    return out;
+}
+
 void
 ResultSet::writeJsonFile(const std::string &path) const
 {
-    std::string text = dumpJson();
-    if (path == "-") {
-        std::fwrite(text.data(), 1, text.size(), stdout);
-        return;
-    }
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        ltrf_fatal("cannot open %s for writing: %s", path.c_str(),
-                   std::strerror(errno));
-    std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
-    if (n != text.size() || std::fclose(f) != 0)
-        ltrf_fatal("short write to %s", path.c_str());
+    writeTextFile(path, dumpJson());
+}
+
+void
+ResultSet::writeFile(const std::string &path, OutputFormat format) const
+{
+    writeTextFile(path,
+                  format == OutputFormat::CSV ? toCsv() : dumpJson());
 }
 
 ResultSet

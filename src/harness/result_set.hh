@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/emit.hh"
 #include "harness/json.hh"
 #include "harness/sweep.hh"
 #include "sim/gpu.hh"
@@ -87,8 +88,17 @@ class ResultSet
     static ResultSet fromJson(const Json &j);
     /** dump(2) of toJson() plus a trailing newline. */
     std::string dumpJson() const;
+    /**
+     * One header line plus one row per cell, with the same column
+     * set, ordering, and number formatting as toJson() (so `--jobs`
+     * determinism holds for CSV output too). The normalization
+     * columns are empty when a row was not normalized.
+     */
+    std::string toCsv() const;
     /** Write dumpJson() to @p path ("-" = stdout); fatal() on I/O error. */
     void writeJsonFile(const std::string &path) const;
+    /** Write dumpJson() or toCsv() to @p path per @p format. */
+    void writeFile(const std::string &path, OutputFormat format) const;
     static ResultSet readJsonFile(const std::string &path);
 
     /**

@@ -58,6 +58,13 @@ ExperimentRunner::ExperimentRunner(int jobs)
 {
 }
 
+void
+ExperimentRunner::runTasks(
+        const std::vector<std::function<void()>> &tasks) const
+{
+    runPool(tasks, num_jobs);
+}
+
 ResultSet
 ExperimentRunner::run(const std::vector<SweepCell> &cells,
                       BaselineCache *baselines)

@@ -19,6 +19,7 @@
 #ifndef LTRF_HARNESS_RUNNER_HH
 #define LTRF_HARNESS_RUNNER_HH
 
+#include <functional>
 #include <vector>
 
 #include "harness/baseline_cache.hh"
@@ -45,6 +46,15 @@ class ExperimentRunner
      */
     ResultSet run(const std::vector<SweepCell> &cells,
                   BaselineCache *baselines = nullptr);
+
+    /**
+     * Drain independent @p tasks on the worker pool. For harness
+     * work that is not a simulate() cell (compiler/trace analyses,
+     * DSE batches); tasks must write their outputs to preassigned
+     * slots so results are deterministic regardless of the job
+     * count.
+     */
+    void runTasks(const std::vector<std::function<void()>> &tasks) const;
 
     int jobs() const { return num_jobs; }
 

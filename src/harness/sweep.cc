@@ -1,9 +1,7 @@
 #include "harness/sweep.hh"
 
-#include <algorithm>
-#include <cctype>
-
 #include "common/log.hh"
+#include "common/strutil.hh"
 #include "tech/rf_config.hh"
 #include "workloads/workload.hh"
 
@@ -19,16 +17,6 @@ applyScalars(SimConfig &cfg, const SweepSpec &spec)
     cfg.num_sms = spec.num_sms;
     if (spec.num_active_warps > 0)
         cfg.num_active_warps = spec.num_active_warps;
-}
-
-std::string
-lowered(const std::string &s)
-{
-    std::string out = s;
-    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
-        return static_cast<char>(std::tolower(c));
-    });
-    return out;
 }
 
 /** Every design, in evaluation order; the single source for "all". */

@@ -1,0 +1,213 @@
+#include "tech/rf_model.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/config.hh"
+#include "common/log.hh"
+
+namespace ltrf
+{
+
+namespace
+{
+
+/** Latency growth per bank-size doubling (HP rows 1->2: 1.25 at 8x). */
+constexpr double SIZE_SLOPE = 0.25 / 3.0;
+/** Butterfly growth per bank doubling (HP rows 1->3: 1.5 at 8x). */
+constexpr double FB_BANK_SLOPE = 0.5 / 3.0;
+/**
+ * Crossbar growth per bank doubling. Unanchored: the paper never
+ * builds a high-radix crossbar precisely because its wiring outgrows
+ * the butterfly's, so the model gives it a steeper slope — at 128
+ * banks a crossbar costs 1.75x vs the butterfly's 1.5x.
+ */
+constexpr double XBAR_BANK_SLOPE = 0.75 / 3.0;
+
+bool
+isPow2(int v)
+{
+    return v >= 1 && (v & (v - 1)) == 0;
+}
+
+void
+checkPoint(const RfModelPoint &p)
+{
+    ltrf_assert(isPow2(p.banks_mult) && p.banks_mult <= 64,
+                "banks_mult %d must be a power of two in [1, 64]",
+                p.banks_mult);
+    ltrf_assert(isPow2(p.bank_size_mult) && p.bank_size_mult <= 64,
+                "bank_size_mult %d must be a power of two in [1, 64]",
+                p.bank_size_mult);
+}
+
+/**
+ * Published (or, for the two technologies the paper only built in
+ * the banked organization, derived) latency at the class anchor
+ * structure. Monolithic-class anchors sit at (1x banks, 8x size,
+ * crossbar) = Table 2 rows 2 and 4; banked-class anchors at (8x
+ * banks, 1x size, butterfly) = rows 3 and 5-7. TFET/DWM monolithic
+ * anchors are extrapolated with LSTP's mono/banked ratio (1.6/2.8):
+ * the slow cell dominates both structures similarly.
+ */
+double
+techAnchorLatency(CellTech t, bool banked)
+{
+    switch (t) {
+      case CellTech::HP_SRAM:   return banked ? 1.5 : 1.25;
+      case CellTech::LSTP_SRAM: return banked ? 2.8 : 1.6;
+      case CellTech::TFET_SRAM: return banked ? 5.3 : 5.3 * 1.6 / 2.8;
+      case CellTech::DWM:       return banked ? 6.3 : 6.3 * 1.6 / 2.8;
+    }
+    return banked ? 1.5 : 1.25;
+}
+
+bool
+isAnchorStructure(const RfModelPoint &p, bool banked)
+{
+    if (banked)
+        return p.banks_mult == 8 && p.bank_size_mult == 1 &&
+               p.network == NetworkKind::FLAT_BUTTERFLY;
+    return p.banks_mult == 1 && p.bank_size_mult == 8 &&
+           p.network == NetworkKind::CROSSBAR;
+}
+
+/**
+ * Relative access latency of @p p. Exactness contract: at the class
+ * anchor axes the published scalar is returned verbatim, and HP-SRAM
+ * (the technology the structure factors are calibrated on) returns
+ * the pure structure factor — so every Table 2 row reproduces
+ * bit-identically (rows 2-7 are anchors; row 1 is HP at the baseline
+ * structure, whose factor is exactly 1.0).
+ */
+double
+modelLatency(const RfModelPoint &p)
+{
+    const bool banked = p.banks_mult > 1;
+    if (isAnchorStructure(p, banked))
+        return techAnchorLatency(p.tech, banked);
+    if (p.tech == CellTech::HP_SRAM)
+        return structureLatency(p.banks_mult, p.bank_size_mult,
+                                p.network);
+
+    RfModelPoint anchor;
+    anchor.banks_mult = banked ? 8 : 1;
+    anchor.bank_size_mult = banked ? 1 : 8;
+    anchor.network = banked ? NetworkKind::FLAT_BUTTERFLY
+                            : NetworkKind::CROSSBAR;
+    const double tech_ratio =
+            techAnchorLatency(p.tech, banked) /
+            structureLatency(anchor.banks_mult, anchor.bank_size_mult,
+                             anchor.network);
+    return structureLatency(p.banks_mult, p.bank_size_mult, p.network) *
+           tech_ratio;
+}
+
+/** The published row with @p p's axes, or nullptr. */
+const RfConfig *
+publishedRow(const RfModelPoint &p)
+{
+    for (const RfConfig &rc : rfConfigTable()) {
+        if (rc.tech == p.tech && rc.banks_mult == p.banks_mult &&
+            rc.bank_size_mult == p.bank_size_mult &&
+            std::strcmp(rc.network, networkName(p.network)) == 0)
+            return &rc;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+const char *
+networkName(NetworkKind n)
+{
+    switch (n) {
+      case NetworkKind::CROSSBAR:       return "Crossbar";
+      case NetworkKind::FLAT_BUTTERFLY: return "F. Butterfly";
+    }
+    return "?";
+}
+
+NetworkKind
+defaultNetwork(int banks_mult)
+{
+    return banks_mult > 1 ? NetworkKind::FLAT_BUTTERFLY
+                          : NetworkKind::CROSSBAR;
+}
+
+double
+areaPerBit(CellTech t)
+{
+    // Row 7: DWM stores 8x the bits in a quarter of the area.
+    return t == CellTech::DWM ? 0.25 / 8.0 : 1.0;
+}
+
+double
+powerPerBit(CellTech t)
+{
+    // Table 2's total-power scalars at 8x capacity, per bit. Powers
+    // of two in the divisions keep the 8x rows bit-exact.
+    switch (t) {
+      case CellTech::HP_SRAM:   return 8.0 / 8.0;
+      case CellTech::LSTP_SRAM: return 3.2 / 8.0;
+      case CellTech::TFET_SRAM: return 1.05 / 8.0;
+      case CellTech::DWM:       return 0.65 / 8.0;
+    }
+    return 1.0;
+}
+
+double
+structureLatency(int banks_mult, int bank_size_mult, NetworkKind network)
+{
+    const double size_factor =
+            1.0 + std::log2(static_cast<double>(bank_size_mult)) *
+                          SIZE_SLOPE;
+    const double bank_slope = network == NetworkKind::FLAT_BUTTERFLY
+                                      ? FB_BANK_SLOPE
+                                      : XBAR_BANK_SLOPE;
+    const double bank_factor =
+            1.0 + std::log2(static_cast<double>(banks_mult)) * bank_slope;
+    return size_factor * bank_factor;
+}
+
+RfConfig
+makeRfConfig(const RfModelPoint &p)
+{
+    checkPoint(p);
+
+    RfConfig rc;
+    rc.id = 0;
+    rc.tech = p.tech;
+    rc.banks_mult = p.banks_mult;
+    rc.bank_size_mult = p.bank_size_mult;
+    rc.network = networkName(p.network);
+    rc.capacity = static_cast<double>(p.banks_mult * p.bank_size_mult);
+    rc.area = rc.capacity * areaPerBit(p.tech);
+    rc.power = rc.capacity * powerPerBit(p.tech);
+    rc.latency = modelLatency(p);
+    rc.cap_per_area = rc.capacity / rc.area;
+    rc.cap_per_power = rc.capacity / rc.power;
+
+    if (const RfConfig *pub = publishedRow(p)) {
+        // The analytic path must land exactly on the published
+        // physical scalars — the anchor calibration guarantees it,
+        // and the DSE grid-reproduction check depends on it.
+        ltrf_assert(rc.capacity == pub->capacity &&
+                    rc.area == pub->area && rc.power == pub->power &&
+                    rc.latency == pub->latency,
+                    "parametric model diverged from published Table 2 "
+                    "row #%d", pub->id);
+        // Return the row verbatim: same id, and the paper's rounded
+        // derived columns instead of our unrounded quotients.
+        return *pub;
+    }
+    return rc;
+}
+
+void
+applyRfModel(SimConfig &cfg, const RfModelPoint &p)
+{
+    applyRfConfig(cfg, makeRfConfig(p));
+}
+
+} // namespace ltrf

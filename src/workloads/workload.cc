@@ -18,10 +18,31 @@ WorkloadSuite::all()
 const Workload &
 WorkloadSuite::byName(const std::string &name)
 {
+    if (const Workload *w = find(name))
+        return *w;
+    ltrf_fatal("unknown workload '%s' (valid names: %s)", name.c_str(),
+               namesList().c_str());
+}
+
+const Workload *
+WorkloadSuite::find(const std::string &name)
+{
     for (const Workload &w : all())
         if (w.name == name)
-            return w;
-    ltrf_fatal("unknown workload '%s'", name.c_str());
+            return &w;
+    return nullptr;
+}
+
+std::string
+WorkloadSuite::namesList()
+{
+    std::string out;
+    for (const Workload &w : all()) {
+        if (!out.empty())
+            out += ", ";
+        out += w.name;
+    }
+    return out;
 }
 
 std::vector<const Workload *>

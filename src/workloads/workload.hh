@@ -40,8 +40,18 @@ class WorkloadSuite
     /** All workloads: the 5 insensitive first, then the 9 sensitive. */
     static const std::vector<Workload> &all();
 
-    /** Look a workload up by name; fatal() if absent. */
+    /**
+     * Look a workload up by name; fatal() if absent, with a message
+     * listing the valid names. Callers that can recover (CLIs that
+     * want their own usage error) should use find() instead.
+     */
     static const Workload &byName(const std::string &name);
+
+    /** Look a workload up by name; nullptr if absent. */
+    static const Workload *find(const std::string &name);
+
+    /** Comma-separated list of all workload names (for messages). */
+    static std::string namesList();
 
     static std::vector<const Workload *> sensitive();
     static std::vector<const Workload *> insensitive();

@@ -242,6 +242,42 @@ TEST(ResultSet, JsonRoundTrip)
     EXPECT_DOUBLE_EQ(cfg.mrf_latency_mult, rfConfig(6).latency);
 }
 
+TEST(ResultSet, CsvMirrorsJsonCells)
+{
+    std::vector<SweepCell> cells = expandSweep(microSpec());
+    ExperimentRunner runner(2);
+    BaselineCache base(baselineConfigFor(microSpec()),
+                       bench::BENCH_SEED);
+    ResultSet rs = runner.run(cells, &base);
+
+    std::string csv = rs.toCsv();
+    // Header + one line per cell.
+    std::size_t lines = 0;
+    for (char c : csv)
+        lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, rs.size() + 1);
+    EXPECT_EQ(csv.rfind("workload,design,rf_config", 0), 0u);
+    // First data row carries the first cell's grid key, and numbers
+    // use the JSON writer's formatting.
+    std::size_t nl = csv.find('\n');
+    std::string row2 = csv.substr(nl + 1, csv.find('\n', nl + 1) - nl - 1);
+    EXPECT_EQ(row2.rfind("bfs,BL,6,", 0), 0u);
+    EXPECT_NE(row2.find(jsonNumberText(rs.rows()[0].result.ipc)),
+              std::string::npos);
+}
+
+TEST(OutputFormat, ParseAndName)
+{
+    OutputFormat f = OutputFormat::JSON;
+    EXPECT_TRUE(parseOutputFormat("csv", f));
+    EXPECT_EQ(f, OutputFormat::CSV);
+    EXPECT_TRUE(parseOutputFormat("JSON", f));
+    EXPECT_EQ(f, OutputFormat::JSON);
+    EXPECT_FALSE(parseOutputFormat("xml", f));
+    EXPECT_EQ(f, OutputFormat::JSON);    // untouched on failure
+    EXPECT_STREQ(outputFormatName(OutputFormat::CSV), "csv");
+}
+
 TEST(ResultSet, SeedSurvivesJsonExactly)
 {
     // Seeds ride through JSON as strings: a double would round

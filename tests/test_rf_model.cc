@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the parametric register file model (tech/rf_model):
+ * bit-exact reproduction of the seven published Table 2 rows from
+ * their axes, monotonicity of the scaling rules, and sanity of the
+ * off-table extrapolations the DSE searches through.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/config.hh"
+#include "tech/rf_model.hh"
+
+using namespace ltrf;
+
+namespace
+{
+
+RfModelPoint
+pointFor(const RfConfig &rc)
+{
+    RfModelPoint p;
+    p.tech = rc.tech;
+    p.banks_mult = rc.banks_mult;
+    p.bank_size_mult = rc.bank_size_mult;
+    p.network = std::strcmp(rc.network, "Crossbar") == 0
+                        ? NetworkKind::CROSSBAR
+                        : NetworkKind::FLAT_BUTTERFLY;
+    return p;
+}
+
+const std::vector<CellTech> ALL_TECHS = {
+        CellTech::HP_SRAM, CellTech::LSTP_SRAM, CellTech::TFET_SRAM,
+        CellTech::DWM};
+
+} // namespace
+
+TEST(RfModel, ReproducesAllSevenTable2RowsExactly)
+{
+    for (const RfConfig &pub : rfConfigTable()) {
+        RfConfig gen = makeRfConfig(pointFor(pub));
+        // Bit-exact (operator== on doubles, no tolerance): the
+        // published rows are anchor points of the model.
+        EXPECT_EQ(gen.id, pub.id);
+        EXPECT_EQ(gen.tech, pub.tech);
+        EXPECT_EQ(gen.banks_mult, pub.banks_mult);
+        EXPECT_EQ(gen.bank_size_mult, pub.bank_size_mult);
+        EXPECT_STREQ(gen.network, pub.network);
+        EXPECT_EQ(gen.capacity, pub.capacity);
+        EXPECT_EQ(gen.area, pub.area);
+        EXPECT_EQ(gen.power, pub.power);
+        EXPECT_EQ(gen.latency, pub.latency);
+        EXPECT_EQ(gen.cap_per_area, pub.cap_per_area);
+        EXPECT_EQ(gen.cap_per_power, pub.cap_per_power);
+    }
+}
+
+TEST(RfModel, AreaAndPowerMonotonicInBanks)
+{
+    for (CellTech t : ALL_TECHS) {
+        double prev_area = 0.0, prev_power = 0.0;
+        for (int b : {1, 2, 4, 8}) {
+            RfModelPoint p;
+            p.tech = t;
+            p.banks_mult = b;
+            p.network = defaultNetwork(b);
+            RfConfig rc = makeRfConfig(p);
+            EXPECT_GT(rc.area, prev_area)
+                    << cellTechName(t) << " banks " << b;
+            EXPECT_GT(rc.power, prev_power)
+                    << cellTechName(t) << " banks " << b;
+            prev_area = rc.area;
+            prev_power = rc.power;
+        }
+    }
+}
+
+TEST(RfModel, AreaAndPowerMonotonicInBankSize)
+{
+    for (CellTech t : ALL_TECHS) {
+        double prev_area = 0.0, prev_power = 0.0;
+        for (int z : {1, 2, 4, 8}) {
+            RfModelPoint p;
+            p.tech = t;
+            p.bank_size_mult = z;
+            RfConfig rc = makeRfConfig(p);
+            EXPECT_GT(rc.area, prev_area)
+                    << cellTechName(t) << " bank size " << z;
+            EXPECT_GT(rc.power, prev_power)
+                    << cellTechName(t) << " bank size " << z;
+            prev_area = rc.area;
+            prev_power = rc.power;
+        }
+    }
+}
+
+TEST(RfModel, LatencyMonotonicInBothAxes)
+{
+    for (CellTech t : ALL_TECHS) {
+        // Growing bank count (paper-paired network).
+        double prev = 0.0;
+        for (int b : {1, 2, 4, 8}) {
+            RfModelPoint p;
+            p.tech = t;
+            p.banks_mult = b;
+            p.network = defaultNetwork(b);
+            double lat = makeRfConfig(p).latency;
+            EXPECT_GT(lat, prev) << cellTechName(t) << " banks " << b;
+            prev = lat;
+        }
+        // Growing bank size.
+        prev = 0.0;
+        for (int z : {1, 2, 4, 8}) {
+            RfModelPoint p;
+            p.tech = t;
+            p.bank_size_mult = z;
+            double lat = makeRfConfig(p).latency;
+            EXPECT_GT(lat, prev)
+                    << cellTechName(t) << " bank size " << z;
+            prev = lat;
+        }
+    }
+}
+
+TEST(RfModel, LatencyOrderedByTechnologySlowness)
+{
+    // At any fixed structure, the paper's ordering holds: HP
+    // fastest, then LSTP, TFET, DWM.
+    for (int b : {1, 8}) {
+        for (int z : {1, 8}) {
+            RfModelPoint p;
+            p.banks_mult = b;
+            p.bank_size_mult = z;
+            p.network = defaultNetwork(b);
+            double prev = 0.0;
+            for (CellTech t : ALL_TECHS) {
+                p.tech = t;
+                double lat = makeRfConfig(p).latency;
+                EXPECT_GT(lat, prev)
+                        << cellTechName(t) << " b" << b << " z" << z;
+                prev = lat;
+            }
+        }
+    }
+}
+
+TEST(RfModel, CrossbarOutgrowsButterflyAtHighBankCounts)
+{
+    // The reason Table 2's 128-bank rows use the butterfly.
+    EXPECT_GT(structureLatency(8, 1, NetworkKind::CROSSBAR),
+              structureLatency(8, 1, NetworkKind::FLAT_BUTTERFLY));
+    // And the networks tie at the baseline bank count.
+    EXPECT_EQ(structureLatency(1, 1, NetworkKind::CROSSBAR),
+              structureLatency(1, 1, NetworkKind::FLAT_BUTTERFLY));
+}
+
+TEST(RfModel, OffTablePointsSynthesizeSanely)
+{
+    // DWM at the baseline organization: never measured by the
+    // paper; the model extrapolates its per-bit scalars.
+    RfModelPoint p;
+    p.tech = CellTech::DWM;
+    RfConfig rc = makeRfConfig(p);
+    EXPECT_EQ(rc.id, 0);
+    EXPECT_EQ(rc.capacity, 1.0);
+    EXPECT_EQ(rc.area, 0.25 / 8.0);
+    EXPECT_EQ(rc.power, 0.65 / 8.0);
+    EXPECT_GE(rc.latency, 1.0);
+    EXPECT_LT(rc.latency, 6.3);
+    EXPECT_EQ(rc.cap_per_area, 32.0);
+
+    // Simulator-facing invariant: every point in the DSE bounds
+    // yields a latency multiplier the simulator accepts (>= 1).
+    for (CellTech t : ALL_TECHS)
+        for (int b : {1, 2, 4, 8})
+            for (int z : {1, 2, 4, 8})
+                for (NetworkKind n : {NetworkKind::CROSSBAR,
+                                      NetworkKind::FLAT_BUTTERFLY}) {
+                    RfModelPoint q{t, b, z, n};
+                    EXPECT_GE(makeRfConfig(q).latency, 1.0);
+                }
+}
+
+TEST(RfModel, DefaultNetworkPairsLikeThePaper)
+{
+    EXPECT_EQ(defaultNetwork(1), NetworkKind::CROSSBAR);
+    for (int b : {2, 4, 8})
+        EXPECT_EQ(defaultNetwork(b), NetworkKind::FLAT_BUTTERFLY);
+}
+
+TEST(RfModel, ApplyRfModelSetsSimKnobs)
+{
+    SimConfig cfg;
+    RfModelPoint p;
+    p.tech = CellTech::DWM;
+    p.banks_mult = 8;
+    p.bank_size_mult = 1;
+    p.network = NetworkKind::FLAT_BUTTERFLY;
+    applyRfModel(cfg, p);
+    EXPECT_EQ(cfg.rf_capacity_mult, 8);
+    EXPECT_EQ(cfg.num_mrf_banks, 128);
+    EXPECT_DOUBLE_EQ(cfg.mrf_latency_mult, 6.3);
+}

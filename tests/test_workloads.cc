@@ -30,6 +30,25 @@ TEST(WorkloadSuite, PaperNamedWorkloadsPresent)
     EXPECT_TRUE(WorkloadSuite::byName("lavaMD").register_sensitive);
 }
 
+TEST(WorkloadSuite, FindReturnsNullForUnknownNames)
+{
+    EXPECT_NE(WorkloadSuite::find("bfs"), nullptr);
+    EXPECT_EQ(WorkloadSuite::find("bfs"),
+              &WorkloadSuite::byName("bfs"));
+    EXPECT_EQ(WorkloadSuite::find("no-such-workload"), nullptr);
+    // The recoverable path CLIs use for their usage errors.
+    std::string names = WorkloadSuite::namesList();
+    EXPECT_NE(names.find("bfs"), std::string::npos);
+    EXPECT_NE(names.find("sgemm"), std::string::npos);
+}
+
+TEST(WorkloadSuiteDeathTest, ByNameListsValidNames)
+{
+    // The fatal path now tells the user what would have worked.
+    EXPECT_EXIT(WorkloadSuite::byName("no-such-workload"),
+                ::testing::ExitedWithCode(1), "valid names");
+}
+
 TEST(WorkloadSuite, RegisterDemandClasses)
 {
     for (const Workload &w : WorkloadSuite::all()) {
