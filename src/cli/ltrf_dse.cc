@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/strutil.hh"
 #include "dse/explorer.hh"
 #include "harness/sweep.hh"
 #include "workloads/workload.hh"
@@ -52,13 +53,33 @@ Space bounds (comma-separated lists restrict each axis):
   --warps LIST       active warps per SM (default: 4,8,16)
 
 Search:
-  --strategy S       grid | random | hill (default: grid)
-  --budget N         max design points considered; required for
-                     random/hill, 0 = whole space for grid
+  --strategy S       grid | random | hill | evolve | halving
+                     (default: grid)
+  --budget N         max design points considered (screened points
+                     count); required for random/hill, 0 = whole
+                     space for grid and generations x population
+                     for evolve/halving
   --seed S           sampling + workload seed (default: 2018)
+  --generations N    evolve: offspring generations after the initial
+                     population; halving: screening rounds
+                     (default: 8; 0 with --resume replays the saved
+                     frontier without simulating)
+  --population N     evolve population / halving per-round candidate
+                     pool size (default: 16)
+  --screen-workloads V
+                     halving's low-fidelity screening subset: a
+                     count N (the first N active workloads) or a
+                     comma list of workload names (default: 2)
+  --resume PATH      seed the frontier (and evolve's initial
+                     population) from a saved ltrf_dse JSON report;
+                     saved points are not re-simulated
+  --hv-ref I,E,A     hypervolume reference point: minimum IPC,
+                     maximum energy, maximum area
+                     (default: 0,2,8)
   --prune / --no-prune
                      force the model-dominance pruning heuristic on
-                     or off (default: off for grid, on otherwise)
+                     or off (default: on for random/hill, off
+                     otherwise)
 
 Evaluation:
   --workloads LIST   all | sensitive | insensitive | name,name,...
@@ -193,7 +214,57 @@ parseArgs(int argc, char **argv)
             std::string v = value(i);
             if (!parseStrategy(v, opt.explore.strategy))
                 usageError("unknown strategy \"" + v +
-                           "\" (expected grid, random, hill)");
+                           "\" (expected grid, random, hill, "
+                           "evolve, halving)");
+        } else if (a == "--generations") {
+            opt.explore.generations = intValue(i);
+            if (opt.explore.generations < 0)
+                usageError("--generations must be >= 0");
+        } else if (a == "--population") {
+            opt.explore.population = intValue(i);
+            if (opt.explore.population < 2)
+                usageError("--population must be >= 2");
+        } else if (a == "--screen-workloads") {
+            std::string v = value(i);
+            char *end = nullptr;
+            long n = std::strtol(v.c_str(), &end, 10);
+            opt.explore.screen_workloads.clear();
+            if (!v.empty() && end == v.c_str() + v.size()) {
+                if (n < 1)
+                    usageError("--screen-workloads count must be "
+                               ">= 1");
+                opt.explore.screen_count = static_cast<int>(n);
+            } else {
+                for (const std::string &w : harness::splitList(v)) {
+                    if (!WorkloadSuite::find(w))
+                        usageError("unknown screening workload \"" +
+                                   w + "\" (valid names: " +
+                                   WorkloadSuite::namesList() + ")");
+                    opt.explore.screen_workloads.push_back(w);
+                }
+                if (opt.explore.screen_workloads.empty())
+                    usageError("--screen-workloads list is empty");
+            }
+        } else if (a == "--resume") {
+            opt.explore.resume = loadFrontierFile(value(i));
+        } else if (a == "--hv-ref") {
+            std::vector<std::string> parts =
+                    harness::splitList(value(i));
+            if (parts.size() != 3)
+                usageError("--hv-ref needs three comma-separated "
+                           "numbers: ipc,energy,area");
+            double v3[3];
+            for (int k = 0; k < 3; k++) {
+                char *end = nullptr;
+                v3[k] = std::strtod(parts[k].c_str(), &end);
+                if (parts[k].empty() ||
+                    end != parts[k].c_str() + parts[k].size())
+                    usageError("bad --hv-ref number \"" + parts[k] +
+                               "\"");
+            }
+            opt.explore.hv_ref.ipc = v3[0];
+            opt.explore.hv_ref.energy = v3[1];
+            opt.explore.hv_ref.area = v3[2];
         } else if (a == "--budget") {
             int n = intValue(i);
             if (n < 0)
@@ -306,8 +377,27 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(res.sim_reuse),
                     static_cast<unsigned long long>(res.sim_cells),
                     secs);
+        if (res.screened)
+            std::printf("%llu screened on {%s}\n",
+                        static_cast<unsigned long long>(res.screened),
+                        joined(res.screen_workloads).c_str());
+        if (res.resumed)
+            std::printf("%llu points resumed without "
+                        "re-simulation\n",
+                        static_cast<unsigned long long>(res.resumed));
+        if (res.progress.size() > 1)
+            for (const DseResult::GenStat &s : res.progress)
+                std::printf("  gen %2d: %3llu evaluated, frontier "
+                            "%2llu, hypervolume %.4f\n",
+                            s.gen,
+                            static_cast<unsigned long long>(
+                                    s.evaluated),
+                            static_cast<unsigned long long>(
+                                    s.frontier_size),
+                            s.hypervolume);
         std::printf("Pareto frontier: %zu points (IPC vs energy vs "
-                    "area)\n\n", res.frontier.size());
+                    "area), hypervolume %.4f\n\n",
+                    res.frontier.size(), res.hv);
         printFrontier(res);
     }
 

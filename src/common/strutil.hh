@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cctype>
 #include <string>
+#include <vector>
 
 namespace ltrf
 {
@@ -22,6 +23,16 @@ lowered(std::string s)
         return static_cast<char>(std::tolower(c));
     });
     return s;
+}
+
+/** @return the elements of @p v joined with @p sep. */
+inline std::string
+joined(const std::vector<std::string> &v, const char *sep = ",")
+{
+    std::string out;
+    for (const std::string &s : v)
+        out += (out.empty() ? "" : sep) + s;
+    return out;
 }
 
 } // namespace ltrf

@@ -1,10 +1,12 @@
 #include "dse/explorer.hh"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <set>
 
 #include "common/log.hh"
+#include "common/rng.hh"
 #include "common/strutil.hh"
 #include "harness/runner.hh"
 #include "tech/energy_model.hh"
@@ -26,6 +28,21 @@ namespace
  */
 constexpr std::size_t POINT_BATCH = 16;
 
+/**
+ * Disjoint RNG stream tags, mixed with the search seed (mixSeeds)
+ * plus a per-restart / per-generation index. Every random decision
+ * sequence therefore depends only on (seed, purpose, index) — a
+ * hill-climb restart or an evolutionary generation draws the same
+ * values no matter how many samples earlier phases consumed.
+ */
+constexpr std::uint64_t STREAM_HILL_RESTART = 0x10000000ull;
+constexpr std::uint64_t STREAM_EVOLVE_INIT = 0x20000000ull;
+constexpr std::uint64_t STREAM_EVOLVE_GEN = 0x30000000ull;
+constexpr std::uint64_t STREAM_HALVING_GEN = 0x40000000ull;
+
+/** Chance that an offspring steps to a random neighbor. */
+constexpr double MUTATION_P = 0.25;
+
 /** Per-workload baseline measurements (BL on configuration #1). */
 struct BaselineRow
 {
@@ -46,7 +63,12 @@ struct PruneEntry
     double power;
 };
 
-/** Evaluates design points across the suite, memoizing by simKey. */
+/**
+ * Evaluates design points across workload subsets, memoizing each
+ * simulated (simKey, workload) cell: a point screened on a workload
+ * subset and later promoted to the full suite only simulates the
+ * workloads it has not already run.
+ */
 class Evaluator
 {
   public:
@@ -54,70 +76,99 @@ class Evaluator
               std::vector<std::string> workload_names)
         : runner(opt.jobs), names(std::move(workload_names)),
           num_sms(opt.num_sms), seed(opt.seed)
-    {
-        computeBaselines();
-    }
+    {}
 
     /**
-     * Evaluate @p points (deduplicated by the caller): simulate the
-     * distinct configurations across all workloads on the pool, then
-     * fold each point's rows into its objective vector.
+     * Evaluate @p points (deduplicated by the caller) on the
+     * workloads selected by @p wsel (indices into the suite):
+     * simulate the missing cells on the pool, then fold each
+     * point's rows into an objective vector over that subset.
      */
     std::vector<PointResult>
-    evaluate(const std::vector<DesignPoint> &points)
+    evaluate(const std::vector<DesignPoint> &points,
+             const std::vector<std::size_t> &wsel)
     {
-        // Collect configurations this batch still needs to simulate.
+        if (points.empty())
+            return {};
+        ensureBaselines();
+
+        // Collect the cells this batch still needs to simulate.
+        struct Slot
+        {
+            std::string key;
+            std::size_t w;
+        };
         std::vector<harness::SweepCell> cells;
-        std::vector<std::string> fresh_keys;
+        std::vector<Slot> slots;
         for (const DesignPoint &p : points) {
             SimConfig cfg = configFor(p, num_sms);
             const std::string key = simKey(cfg);
-            if (sim_cache.count(key) ||
-                std::find(fresh_keys.begin(), fresh_keys.end(), key) !=
-                        fresh_keys.end()) {
-                sim_reuse++;
-                continue;
-            }
-            fresh_keys.push_back(key);
-            for (const std::string &w : names) {
+            CacheRow &row = rowFor(key);
+            for (std::size_t w : wsel) {
+                if (row.have[w]) {
+                    sim_reuse++;
+                    continue;
+                }
+                row.have[w] = 1;    // claimed for this batch
                 harness::SweepCell c;
                 c.index = static_cast<int>(cells.size());
-                c.workload = w;
+                c.workload = names[w];
                 c.tag = key;
                 c.config = cfg;
                 c.seed = seed;
                 cells.push_back(std::move(c));
+                slots.push_back({key, w});
             }
         }
 
-        harness::ResultSet rs = runner.run(cells);
-        sim_cells += cells.size();
-        for (std::size_t k = 0; k < fresh_keys.size(); k++) {
-            std::vector<SimResult> rows;
-            for (std::size_t w = 0; w < names.size(); w++)
-                rows.push_back(
-                        rs.rows()[k * names.size() + w].result);
-            sim_cache.emplace(fresh_keys[k], std::move(rows));
+        if (!cells.empty()) {
+            harness::ResultSet rs = runner.run(cells);
+            sim_cells += cells.size();
+            for (std::size_t i = 0; i < slots.size(); i++)
+                sim_cache.at(slots[i].key).rows[slots[i].w] =
+                        rs.rows()[i].result;
         }
 
         std::vector<PointResult> out;
         out.reserve(points.size());
         for (const DesignPoint &p : points)
-            out.push_back(fold(p));
+            out.push_back(fold(p, wsel));
         return out;
     }
 
     std::uint64_t simCells() const { return sim_cells; }
     std::uint64_t simReuse() const { return sim_reuse; }
-    const harness::ExperimentRunner &experimentRunner() const
-    {
-        return runner;
-    }
 
   private:
-    void
-    computeBaselines()
+    struct CacheRow
     {
+        std::vector<SimResult> rows;
+        std::vector<char> have;
+    };
+
+    CacheRow &
+    rowFor(const std::string &key)
+    {
+        auto it = sim_cache.find(key);
+        if (it == sim_cache.end()) {
+            CacheRow row;
+            row.rows.resize(names.size());
+            row.have.assign(names.size(), 0);
+            it = sim_cache.emplace(key, std::move(row)).first;
+        }
+        return it->second;
+    }
+
+    /**
+     * Baselines are computed on first use: a resumed search that
+     * evaluates nothing new (--resume with --generations 0) must
+     * not simulate at all.
+     */
+    void
+    ensureBaselines()
+    {
+        if (!baselines.empty())
+            return;
         std::vector<harness::SweepCell> cells;
         for (const std::string &w : names) {
             harness::SweepCell c;
@@ -140,9 +191,9 @@ class Evaluator
         }
     }
 
-    /** Fold @p p's cached per-workload rows into objectives. */
+    /** Fold @p p's cached rows over @p wsel into objectives. */
     PointResult
-    fold(const DesignPoint &p)
+    fold(const DesignPoint &p, const std::vector<std::size_t> &wsel)
     {
         PointResult pr;
         pr.point = p;
@@ -150,12 +201,12 @@ class Evaluator
         const bool cached_design =
                 usesRegCache(policyDesign(p.policy));
 
-        const std::vector<SimResult> &rows =
+        const CacheRow &row =
                 sim_cache.at(simKey(configFor(p, num_sms)));
         std::vector<double> norm_ipc;
         double energy_sum = 0.0;
-        for (std::size_t w = 0; w < names.size(); w++) {
-            const SimResult &r = rows[w];
+        for (std::size_t w : wsel) {
+            const SimResult &r = row.rows[w];
             norm_ipc.push_back(r.ipc / baselines[w].ipc);
             // rfPower() is normalized so the baseline design on
             // configuration #1 at the baseline access rate is 1.0,
@@ -165,7 +216,7 @@ class Evaluator
         }
         pr.obj.ipc = harness::ResultSet::geomean(norm_ipc);
         pr.obj.energy =
-                energy_sum / static_cast<double>(names.size());
+                energy_sum / static_cast<double>(wsel.size());
         // The 256KB baseline array is area 1.0; a cache-based design
         // spends cache_kb more KB of HP-SRAM next to the cores.
         pr.obj.area =
@@ -179,7 +230,7 @@ class Evaluator
     int num_sms;
     std::uint64_t seed;
     std::vector<BaselineRow> baselines;
-    std::map<std::string, std::vector<SimResult>> sim_cache;
+    std::map<std::string, CacheRow> sim_cache;
     std::uint64_t sim_cells = 0;
     std::uint64_t sim_reuse = 0;
 };
@@ -228,6 +279,138 @@ pruneEntryFor(const DesignPoint &p)
     return e;
 }
 
+// ----- NSGA-II machinery (EVOLVE selection, HALVING promotion) -----
+
+/**
+ * Non-domination rank per objective vector: 0 for the Pareto set,
+ * 1 for the Pareto set of the remainder, and so on (repeated
+ * peeling, O(n^2) per front — populations are tens of points).
+ */
+std::vector<int>
+nonDominationRanks(const std::vector<Objectives> &objs)
+{
+    const std::size_t n = objs.size();
+    std::vector<int> rank(n, -1);
+    std::size_t assigned = 0;
+    for (int r = 0; assigned < n; r++) {
+        std::vector<std::size_t> front;
+        for (std::size_t i = 0; i < n; i++) {
+            if (rank[i] >= 0)
+                continue;
+            bool dom = false;
+            for (std::size_t j = 0; j < n && !dom; j++)
+                dom = j != i && rank[j] < 0 &&
+                      dominates(objs[j], objs[i]);
+            if (!dom)
+                front.push_back(i);
+        }
+        for (std::size_t i : front)
+            rank[i] = r;
+        assigned += front.size();
+    }
+    return rank;
+}
+
+/**
+ * NSGA-II crowding distance, computed per front: boundary points of
+ * each objective get infinity, interior points accumulate the
+ * normalized span of their neighbors. Sorts break ties on the index
+ * so the result is deterministic.
+ */
+std::vector<double>
+crowdingDistances(const std::vector<Objectives> &objs,
+                  const std::vector<int> &rank)
+{
+    const std::size_t n = objs.size();
+    std::vector<double> crowd(n, 0.0);
+    const int max_rank =
+            n ? *std::max_element(rank.begin(), rank.end()) : -1;
+    auto axis = [](const Objectives &o, int a) {
+        return a == 0 ? o.ipc : a == 1 ? o.energy : o.area;
+    };
+    for (int r = 0; r <= max_rank; r++) {
+        std::vector<std::size_t> front;
+        for (std::size_t i = 0; i < n; i++)
+            if (rank[i] == r)
+                front.push_back(i);
+        for (int a = 0; a < 3; a++) {
+            std::sort(front.begin(), front.end(),
+                      [&](std::size_t x, std::size_t y) {
+                          const double vx = axis(objs[x], a);
+                          const double vy = axis(objs[y], a);
+                          if (vx != vy)
+                              return vx < vy;
+                          return x < y;
+                      });
+            const double lo = axis(objs[front.front()], a);
+            const double hi = axis(objs[front.back()], a);
+            crowd[front.front()] =
+                    std::numeric_limits<double>::infinity();
+            crowd[front.back()] =
+                    std::numeric_limits<double>::infinity();
+            if (hi <= lo)
+                continue;
+            for (std::size_t k = 1; k + 1 < front.size(); k++)
+                crowd[front[k]] += (axis(objs[front[k + 1]], a) -
+                                    axis(objs[front[k - 1]], a)) /
+                                   (hi - lo);
+        }
+    }
+    return crowd;
+}
+
+/** NSGA-II total order: rank up, crowding down, index up. */
+bool
+nsgaBetter(std::size_t a, std::size_t b, const std::vector<int> &rank,
+           const std::vector<double> &crowd)
+{
+    if (rank[a] != rank[b])
+        return rank[a] < rank[b];
+    if (crowd[a] != crowd[b])
+        return crowd[a] > crowd[b];
+    return a < b;
+}
+
+/**
+ * Order 0..n-1 by NSGA-II preference over @p objs (used both for
+ * EVOLVE's environmental selection and HALVING's promotion cut).
+ */
+std::vector<std::size_t>
+nsgaOrder(const std::vector<Objectives> &objs)
+{
+    const std::vector<int> rank = nonDominationRanks(objs);
+    const std::vector<double> crowd = crowdingDistances(objs, rank);
+    std::vector<std::size_t> order(objs.size());
+    for (std::size_t i = 0; i < order.size(); i++)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return nsgaBetter(a, b, rank, crowd);
+              });
+    return order;
+}
+
+/** Axis-wise uniform crossover; auto-network spaces re-pair the
+ *  child's network with its bank count. */
+DesignPoint
+crossover(const DesignPoint &a, const DesignPoint &b, Rng &rng,
+          const DesignSpace &space)
+{
+    DesignPoint c;
+    c.tech = rng.nextBool(0.5) ? a.tech : b.tech;
+    c.banks_mult = rng.nextBool(0.5) ? a.banks_mult : b.banks_mult;
+    c.bank_size_mult =
+            rng.nextBool(0.5) ? a.bank_size_mult : b.bank_size_mult;
+    c.network = rng.nextBool(0.5) ? a.network : b.network;
+    c.cache_kb = rng.nextBool(0.5) ? a.cache_kb : b.cache_kb;
+    c.policy = rng.nextBool(0.5) ? a.policy : b.policy;
+    c.active_warps =
+            rng.nextBool(0.5) ? a.active_warps : b.active_warps;
+    if (space.networks.empty())
+        c.network = defaultNetwork(c.banks_mult);
+    return c;
+}
+
 Json
 pointToJson(const PointResult &pr)
 {
@@ -250,6 +433,8 @@ pointToJson(const PointResult &pr)
     j.set("energy", pr.obj.energy);
     j.set("total_area", pr.obj.area);
     j.set("frontier", pr.on_frontier);
+    j.set("resumed", pr.resumed);
+    j.set("gen", pr.gen);
     return j;
 }
 
@@ -262,6 +447,8 @@ strategyName(Strategy s)
       case Strategy::GRID:       return "grid";
       case Strategy::RANDOM:     return "random";
       case Strategy::HILL_CLIMB: return "hill";
+      case Strategy::EVOLVE:     return "evolve";
+      case Strategy::HALVING:    return "halving";
     }
     return "?";
 }
@@ -282,6 +469,16 @@ parseStrategy(const std::string &name, Strategy &out)
         out = Strategy::HILL_CLIMB;
         return true;
     }
+    if (low == "evolve" || low == "nsga" || low == "nsga2" ||
+        low == "ea") {
+        out = Strategy::EVOLVE;
+        return true;
+    }
+    if (low == "halving" || low == "sh" ||
+        low == "successive-halving") {
+        out = Strategy::HALVING;
+        return true;
+    }
     return false;
 }
 
@@ -289,10 +486,22 @@ DseResult
 explore(const DesignSpace &space, const ExploreOptions &opt)
 {
     space.validate();
-    if (opt.strategy != Strategy::GRID && opt.budget == 0)
+    const bool generational = opt.strategy == Strategy::EVOLVE ||
+                              opt.strategy == Strategy::HALVING;
+    if ((opt.strategy == Strategy::RANDOM ||
+         opt.strategy == Strategy::HILL_CLIMB) &&
+        opt.budget == 0)
         ltrf_fatal("--budget is required for the %s strategy (grid "
                    "alone may walk the whole space)",
                    strategyName(opt.strategy));
+    if (generational) {
+        if (opt.population < 2)
+            ltrf_fatal("--population must be >= 2 (got %d)",
+                       opt.population);
+        if (opt.generations < 0)
+            ltrf_fatal("--generations must be >= 0 (got %d)",
+                       opt.generations);
+    }
 
     std::vector<std::string> names = opt.workloads;
     if (names.empty())
@@ -302,26 +511,108 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
         for (const std::string &n : names)
             WorkloadSuite::byName(n);    // fatal(), listing names
 
+    // The screening subset (HALVING): explicit names, or the first
+    // screen_count workloads of the active suite.
+    std::vector<std::size_t> screen_sel;
+    std::vector<std::string> screen_names;
+    if (opt.strategy == Strategy::HALVING) {
+        if (!opt.screen_workloads.empty()) {
+            for (const std::string &s : opt.screen_workloads) {
+                const auto it =
+                        std::find(names.begin(), names.end(), s);
+                if (it == names.end())
+                    ltrf_fatal("screening workload \"%s\" is not in "
+                               "the active suite", s.c_str());
+                const std::size_t w = static_cast<std::size_t>(
+                        it - names.begin());
+                if (std::find(screen_sel.begin(), screen_sel.end(),
+                              w) != screen_sel.end())
+                    ltrf_fatal("screening workload \"%s\" listed "
+                               "twice", s.c_str());
+                screen_sel.push_back(w);
+            }
+        } else {
+            if (opt.screen_count < 1)
+                ltrf_fatal("--screen-workloads must name at least "
+                           "one workload");
+            const std::size_t n = std::min(
+                    static_cast<std::size_t>(opt.screen_count),
+                    names.size());
+            for (std::size_t w = 0; w < n; w++)
+                screen_sel.push_back(w);
+        }
+        for (std::size_t w : screen_sel)
+            screen_names.push_back(names[w]);
+    }
+
+    // A resumed frontier's objectives were measured under the saved
+    // report's simulation parameters; mixing suites, SM counts, or
+    // workload seeds would compare incomparable numbers. (A field
+    // absent from the report cannot be checked.)
+    if (!opt.resume.empty()) {
+        if (!opt.resume.workloads.empty() &&
+            opt.resume.workloads != names)
+            ltrf_fatal("--resume report was measured on a different "
+                       "workload suite (saved {%s}, active {%s}; "
+                       "order matters)",
+                       joined(opt.resume.workloads).c_str(),
+                       joined(names).c_str());
+        if (opt.resume.has_num_sms &&
+            opt.resume.num_sms != opt.num_sms)
+            ltrf_fatal("--resume report was measured at %d SMs, not "
+                       "%d", opt.resume.num_sms, opt.num_sms);
+        if (opt.resume.has_seed && opt.resume.seed != opt.seed)
+            ltrf_fatal("--resume report used workload seed %llu, "
+                       "not %llu",
+                       static_cast<unsigned long long>(
+                               opt.resume.seed),
+                       static_cast<unsigned long long>(opt.seed));
+    }
+
     DseResult res;
     res.strategy = opt.strategy;
     res.budget = opt.budget;
     res.seed = opt.seed;
     res.workloads = names;
     res.num_sms = opt.num_sms;
-    res.prune = opt.prune < 0 ? opt.strategy != Strategy::GRID
-                              : opt.prune > 0;
+    res.prune = opt.prune < 0
+                        ? (opt.strategy == Strategy::RANDOM ||
+                           opt.strategy == Strategy::HILL_CLIMB)
+                        : opt.prune > 0;
     res.space_size = space.size();
+    if (generational) {
+        res.generations = opt.generations;
+        res.population = opt.population;
+    }
+    res.screen_workloads = screen_names;
+    res.hv_ref = opt.hv_ref;
+
+    std::vector<std::size_t> all_sel;
+    for (std::size_t w = 0; w < names.size(); w++)
+        all_sel.push_back(w);
 
     Evaluator ev(opt, names);
     ParetoFrontier frontier;
     std::vector<PruneEntry> prune_entries;
 
-    // Distinct candidates admitted so far (evaluated + pruned);
-    // the budget caps this count.
+    // Keys ever admitted (evaluated, pruned, screened, or resumed):
+    // no strategy offers the same point twice. in_space_seen counts
+    // only keys inside the current space — resumed points from a
+    // wider space must not make sampling think this space is
+    // exhausted.
+    std::set<std::string> seen;
+    std::uint64_t in_space_seen = 0;
+
+    // Distinct candidates admitted so far (evaluated + pruned +
+    // screened); the budget caps this count. Resumed points are
+    // free.
     std::uint64_t considered = 0;
 
-    auto processBatch = [&](const std::vector<DesignPoint> &batch) {
-        considered += batch.size();
+    int current_gen = -1;    // stamped into PointResult::gen
+
+    /** Full-fidelity evaluation of a deduplicated batch; returns
+     *  the indices the batch added to res.evaluated. */
+    auto admitBatch = [&](const std::vector<DesignPoint> &batch) {
         std::vector<DesignPoint> kept;
         for (const DesignPoint &p : batch) {
             if (res.prune &&
@@ -331,57 +622,135 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
             }
             kept.push_back(p);
         }
-        for (PointResult &pr : ev.evaluate(kept)) {
+        std::vector<int> added;
+        for (PointResult &pr : ev.evaluate(kept, all_sel)) {
             const int idx = static_cast<int>(res.evaluated.size());
+            pr.gen = current_gen;
             frontier.insert(idx, pr.obj);
             prune_entries.push_back(pruneEntryFor(pr.point));
             res.evaluated.push_back(std::move(pr));
+            added.push_back(idx);
         }
+        return added;
     };
 
-    auto processAll = [&](const std::vector<DesignPoint> &cands) {
+    auto processBatch = [&](const std::vector<DesignPoint> &batch) {
+        considered += batch.size();
+        return admitBatch(batch);
+    };
+
+    /** Admit @p cands in fixed POINT_BATCH slices, counting them
+     *  toward the budget unless @p counted already were. */
+    auto processAll = [&](const std::vector<DesignPoint> &cands,
+                          bool counted = false) {
+        std::vector<int> added;
         for (std::size_t i = 0; i < cands.size(); i += POINT_BATCH) {
             std::vector<DesignPoint> batch(
                     cands.begin() + static_cast<std::ptrdiff_t>(i),
                     cands.begin() +
                             static_cast<std::ptrdiff_t>(std::min(
                                     i + POINT_BATCH, cands.size())));
-            processBatch(batch);
+            const std::vector<int> b =
+                    counted ? admitBatch(batch) : processBatch(batch);
+            added.insert(added.end(), b.begin(), b.end());
         }
+        return added;
+    };
+
+    auto recordProgress = [&](int gen) {
+        DseResult::GenStat s;
+        s.gen = gen;
+        s.evaluated = res.evaluated.size();
+        s.frontier_size = frontier.size();
+        s.hypervolume =
+                hypervolume(frontier.objectives(), opt.hv_ref);
+        res.progress.push_back(s);
+    };
+
+    // ----- Resume seeding: saved points re-enter the frontier with
+    // their saved objectives, without re-simulation. -----
+    std::vector<int> resumed_indices;
+    for (const SeedPoint &sp : opt.resume.points) {
+        if (!seen.insert(sp.point.key()).second)
+            continue;
+        if (space.contains(sp.point))
+            in_space_seen++;
+        PointResult pr;
+        pr.point = sp.point;
+        pr.model = makeRfConfig(sp.point.modelPoint());
+        pr.obj = sp.obj;
+        pr.resumed = true;
+        const int idx = static_cast<int>(res.evaluated.size());
+        frontier.insert(idx, pr.obj);
+        prune_entries.push_back(pruneEntryFor(sp.point));
+        res.evaluated.push_back(std::move(pr));
+        resumed_indices.push_back(idx);
+        res.resumed++;
+    }
+
+    const std::uint64_t space_size = space.size();
+    auto budgetLeft = [&]() {
+        return opt.budget == 0
+                       ? std::numeric_limits<std::uint64_t>::max()
+                       : opt.budget > considered
+                                 ? opt.budget - considered
+                                 : 0;
+    };
+
+    /** Up to @p want distinct unseen samples from @p rng. */
+    auto sampleDistinct = [&](Rng &rng, std::uint64_t want) {
+        std::vector<DesignPoint> out;
+        std::uint64_t attempts = 0;
+        const std::uint64_t max_attempts = want * 64 + 1024;
+        while (out.size() < want && in_space_seen < space_size &&
+               attempts++ < max_attempts) {
+            DesignPoint p = space.sample(rng);
+            if (seen.insert(p.key()).second) {
+                in_space_seen++;
+                out.push_back(p);
+            }
+        }
+        return out;
     };
 
     switch (opt.strategy) {
       case Strategy::GRID: {
-          processAll(space.enumerate(opt.budget));
+          // Enumeration order, skipping resumed points, up to the
+          // budget.
+          std::vector<DesignPoint> cands;
+          for (std::uint64_t i = 0; i < space_size; i++) {
+              if (opt.budget && cands.size() >= opt.budget)
+                  break;
+              DesignPoint p = space.pointAt(i);
+              if (seen.insert(p.key()).second) {
+                  in_space_seen++;
+                  cands.push_back(p);
+              }
+          }
+          processAll(cands);
+          recordProgress(0);
           break;
       }
       case Strategy::RANDOM: {
           Rng rng(opt.seed);
-          std::set<std::string> seen;
-          std::vector<DesignPoint> cands;
-          // Distinct-point rejection sampling; the attempt cap only
-          // matters when the budget nears the space size.
-          std::uint64_t attempts = 0;
-          const std::uint64_t max_attempts = opt.budget * 64 + 1024;
-          while (cands.size() < opt.budget &&
-                 seen.size() < space.size() &&
-                 attempts++ < max_attempts) {
-              DesignPoint p = space.sample(rng);
-              if (seen.insert(p.key()).second)
-                  cands.push_back(p);
-          }
-          processAll(cands);
+          processAll(sampleDistinct(rng, opt.budget));
+          recordProgress(0);
           break;
       }
       case Strategy::HILL_CLIMB: {
-          Rng rng(opt.seed);
-          std::set<std::string> seen;
           std::set<std::string> expanded;
           DesignPoint start = space.pointAt(0);
-          seen.insert(start.key());
-          processBatch({start});
+          if (seen.insert(start.key()).second) {
+              in_space_seen++;
+              processBatch({start});
+          }
           while (considered < opt.budget) {
-              // First frontier member (best IPC) not yet expanded.
+              // First in-space frontier member (best IPC) not yet
+              // expanded. Resumed members outside the restricted
+              // space still anchor the frontier, but expanding them
+              // would step sideways out of the space the user asked
+              // for (neighbors() only skips the out-of-range axis
+              // itself).
               const DesignPoint *pick = nullptr;
               for (const ParetoFrontier::Member &m :
                    frontier.members()) {
@@ -389,7 +758,8 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
                           res.evaluated[static_cast<std::size_t>(
                                                 m.point_index)]
                                   .point;
-                  if (!expanded.count(p.key())) {
+                  if (!expanded.count(p.key()) &&
+                      space.contains(p)) {
                       pick = &p;
                       break;
                   }
@@ -400,27 +770,179 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
                   for (const DesignPoint &n : space.neighbors(*pick)) {
                       if (considered + cands.size() >= opt.budget)
                           break;
-                      if (seen.insert(n.key()).second)
+                      if (seen.insert(n.key()).second) {
+                          in_space_seen++;
                           cands.push_back(n);
+                      }
                   }
                   if (!cands.empty())
                       processBatch(cands);
                   continue;
               }
-              // Every frontier member expanded: seeded restart.
-              bool restarted = false;
-              for (int tries = 0;
-                   tries < 256 && seen.size() < space.size();
-                   tries++) {
-                  DesignPoint p = space.sample(rng);
-                  if (seen.insert(p.key()).second) {
-                      processBatch({p});
-                      restarted = true;
-                      break;
+              // Every frontier member expanded: seeded restart. Each
+              // restart draws from its own (seed, restart index)
+              // stream, so restart K's samples cannot drift with how
+              // many draws earlier restarts or batches consumed.
+              Rng rrng(mixSeeds(opt.seed,
+                                STREAM_HILL_RESTART + res.restarts));
+              res.restarts++;
+              const std::vector<DesignPoint> restart =
+                      sampleDistinct(rrng, 1);
+              if (restart.empty())
+                  break;    // space exhausted
+              processBatch(restart);
+          }
+          recordProgress(0);
+          break;
+      }
+      case Strategy::EVOLVE: {
+          // Generation 0: in-space resumed points plus a random
+          // top-up. A resume with --generations 0 is a pure replay
+          // and evaluates nothing.
+          std::vector<int> population;
+          for (int idx : resumed_indices)
+              if (space.contains(
+                          res.evaluated[static_cast<std::size_t>(idx)]
+                                  .point))
+                  population.push_back(idx);
+          current_gen = 0;
+          if (opt.generations > 0 || resumed_indices.empty()) {
+              Rng init_rng(
+                      mixSeeds(opt.seed, STREAM_EVOLVE_INIT));
+              const std::uint64_t want = std::min(
+                      budgetLeft(),
+                      population.size() <
+                                      static_cast<std::size_t>(
+                                              opt.population)
+                              ? static_cast<std::uint64_t>(
+                                        opt.population) -
+                                        population.size()
+                              : 0);
+              const std::vector<int> added =
+                      processAll(sampleDistinct(init_rng, want));
+              population.insert(population.end(), added.begin(),
+                                added.end());
+          }
+          recordProgress(0);
+
+          auto objsOf = [&](const std::vector<int> &idxs) {
+              std::vector<Objectives> objs;
+              objs.reserve(idxs.size());
+              for (int i : idxs)
+                  objs.push_back(
+                          res.evaluated[static_cast<std::size_t>(i)]
+                                  .obj);
+              return objs;
+          };
+
+          for (int g = 1; g <= opt.generations; g++) {
+              if (population.size() < 2 || budgetLeft() == 0)
+                  break;
+              current_gen = g;
+              Rng rng(mixSeeds(opt.seed, STREAM_EVOLVE_GEN +
+                                       static_cast<std::uint64_t>(g)));
+              const std::vector<Objectives> objs = objsOf(population);
+              const std::vector<int> rank = nonDominationRanks(objs);
+              const std::vector<double> crowd =
+                      crowdingDistances(objs, rank);
+              auto tournament = [&]() {
+                  const std::size_t a =
+                          rng.nextBounded(population.size());
+                  const std::size_t b =
+                          rng.nextBounded(population.size());
+                  return nsgaBetter(a, b, rank, crowd) ? a : b;
+              };
+
+              // Breed up to a population of distinct, unseen
+              // offspring (bounded attempts: a tight space or a
+              // converged population may have nothing new to offer).
+              std::vector<DesignPoint> offspring;
+              const std::uint64_t want = std::min(
+                      budgetLeft(),
+                      static_cast<std::uint64_t>(opt.population));
+              std::uint64_t attempts = 0;
+              const std::uint64_t max_attempts = want * 64 + 256;
+              while (offspring.size() < want &&
+                     attempts++ < max_attempts) {
+                  const std::size_t pa = tournament();
+                  const std::size_t pb = tournament();
+                  DesignPoint child = crossover(
+                          res.evaluated[static_cast<std::size_t>(
+                                                population[pa])]
+                                  .point,
+                          res.evaluated[static_cast<std::size_t>(
+                                                population[pb])]
+                                  .point,
+                          rng, space);
+                  if (rng.nextBool(MUTATION_P)) {
+                      const std::vector<DesignPoint> nb =
+                              space.neighbors(child);
+                      if (!nb.empty())
+                          child = nb[rng.nextBounded(nb.size())];
+                  }
+                  if (seen.insert(child.key()).second) {
+                      in_space_seen++;
+                      offspring.push_back(child);
                   }
               }
-              if (!restarted)
+              if (offspring.empty()) {
+                  recordProgress(g);
+                  break;
+              }
+              const std::vector<int> added = processAll(offspring);
+
+              // Environmental selection over parents + offspring.
+              std::vector<int> pool = population;
+              pool.insert(pool.end(), added.begin(), added.end());
+              const std::vector<std::size_t> order =
+                      nsgaOrder(objsOf(pool));
+              population.clear();
+              for (std::size_t k = 0;
+                   k < order.size() &&
+                   k < static_cast<std::size_t>(opt.population);
+                   k++)
+                  population.push_back(
+                          pool[order[k]]);
+              recordProgress(g);
+          }
+          break;
+      }
+      case Strategy::HALVING: {
+          recordProgress(0);
+          for (int g = 0; g < opt.generations; g++) {
+              if (budgetLeft() == 0)
+                  break;
+              current_gen = g + 1;
+              Rng rng(mixSeeds(opt.seed, STREAM_HALVING_GEN +
+                                       static_cast<std::uint64_t>(g)));
+              const std::uint64_t want = std::min(
+                      budgetLeft(),
+                      static_cast<std::uint64_t>(opt.population));
+              const std::vector<DesignPoint> pool =
+                      sampleDistinct(rng, want);
+              if (pool.empty())
                   break;    // space exhausted
+              considered += pool.size();
+              res.screened += pool.size();
+
+              // Screen the pool on the workload subset, rank it,
+              // and promote the top half to the full suite. The
+              // screened (config, workload) cells stay in the sim
+              // cache, so promotion only simulates the remaining
+              // workloads.
+              const std::vector<PointResult> screened =
+                      ev.evaluate(pool, screen_sel);
+              std::vector<Objectives> objs;
+              objs.reserve(screened.size());
+              for (const PointResult &pr : screened)
+                  objs.push_back(pr.obj);
+              const std::vector<std::size_t> order = nsgaOrder(objs);
+              const std::size_t promote = (pool.size() + 1) / 2;
+              std::vector<DesignPoint> promoted;
+              for (std::size_t k = 0; k < promote; k++)
+                  promoted.push_back(pool[order[k]]);
+              processAll(promoted, /*counted=*/true);
+              recordProgress(g + 1);
           }
           break;
       }
@@ -433,6 +955,8 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
     }
     res.sim_reuse = ev.simReuse();
     res.sim_cells = ev.simCells();
+    res.hv = res.progress.empty() ? 0.0
+                                  : res.progress.back().hypervolume;
     return res;
 }
 
@@ -440,7 +964,7 @@ Json
 DseResult::toJson() const
 {
     Json root = Json::object();
-    root.set("schema", "ltrf.dse.v1");
+    root.set("schema", "ltrf.dse.v2");
     root.set("strategy", strategyName(strategy));
     root.set("budget", budget);
     // As a string, like ResultSet seeds: doubles round above 2^53.
@@ -448,6 +972,19 @@ DseResult::toJson() const
     root.set("num_sms", num_sms);
     root.set("prune", prune);
     root.set("space_size", space_size);
+    root.set("generations", generations);
+    root.set("population", population);
+    if (!screen_workloads.empty()) {
+        Json sw = Json::array();
+        for (const std::string &w : screen_workloads)
+            sw.push(w);
+        root.set("screen_workloads", std::move(sw));
+    }
+    Json ref = Json::object();
+    ref.set("ipc", hv_ref.ipc);
+    ref.set("energy", hv_ref.energy);
+    ref.set("area", hv_ref.area);
+    root.set("hv_ref", std::move(ref));
     Json wl = Json::array();
     for (const std::string &w : workloads)
         wl.push(w);
@@ -458,7 +995,22 @@ DseResult::toJson() const
     counters.set("pruned", pruned);
     counters.set("sim_reuse", sim_reuse);
     counters.set("sim_cells", sim_cells);
+    counters.set("screened", screened);
+    counters.set("resumed", resumed);
+    counters.set("restarts", restarts);
     root.set("counters", std::move(counters));
+
+    root.set("hypervolume", hv);
+    Json prog = Json::array();
+    for (const GenStat &s : progress) {
+        Json j = Json::object();
+        j.set("gen", s.gen);
+        j.set("evaluated", s.evaluated);
+        j.set("frontier_size", s.frontier_size);
+        j.set("hypervolume", s.hypervolume);
+        prog.push(std::move(j));
+    }
+    root.set("progress", std::move(prog));
 
     Json pts = Json::array();
     for (const PointResult &pr : evaluated)
@@ -502,6 +1054,19 @@ DseResult::toCsv() const
                                                   : v.dump();
         }
         out += '\n';
+    }
+    // The per-generation hypervolume table, as a second CSV block.
+    if (!progress.empty()) {
+        if (!out.empty())
+            out += '\n';
+        out += "gen,evaluated,frontier_size,hypervolume\n";
+        for (const GenStat &s : progress) {
+            out += std::to_string(s.gen);
+            out += ',' + std::to_string(s.evaluated);
+            out += ',' + std::to_string(s.frontier_size);
+            out += ',' + harness::jsonNumberText(s.hypervolume);
+            out += '\n';
+        }
     }
     return out;
 }

@@ -4,7 +4,7 @@
  *
  * The explorer evaluates candidate DesignPoints across the workload
  * suite on the harness thread pool and maintains the
- * IPC/energy/area Pareto frontier incrementally. Three strategies:
+ * IPC/energy/area Pareto frontier incrementally. Five strategies:
  *
  *  - GRID:       walk the (restricted) space exhaustively in
  *                enumeration order, up to the budget.
@@ -12,18 +12,38 @@
  *  - HILL_CLIMB: expand single-step neighborhoods of frontier
  *                members, with seeded random restarts when every
  *                frontier member has been expanded.
+ *  - EVOLVE:     NSGA-II-style evolutionary search: binary
+ *                tournament selection on (non-domination rank,
+ *                crowding distance), axis-wise crossover, and
+ *                mutation to a random single-step neighbor.
+ *  - HALVING:    successive-halving multi-fidelity search: each
+ *                generation screens a fresh candidate pool on a
+ *                small workload subset and promotes the top half to
+ *                the full suite. Only full-fidelity results enter
+ *                the frontier; promotions reuse the screened
+ *                (config, workload) cells, never re-simulating them.
  *
  * Cost controls: points whose simulated configuration is identical
  * (simKey) are simulated once and share results; RANDOM and
  * HILL_CLIMB additionally prune candidates whose analytic scalars
  * are dominated by an already-evaluated point with the same
  * cache/policy/warp axes (a monotonicity heuristic — disabled by
- * default for GRID so exhaustive walks really are exhaustive).
+ * default for GRID so exhaustive walks really are exhaustive, and
+ * for the generational strategies so population sizes mean what
+ * they say).
  *
- * Determinism: all strategy decisions (sampling, pruning, frontier
- * updates) happen between fixed-size candidate batches, and batch
- * contents never depend on the job count — so the result, and its
- * serialized form, is byte-identical for any `--jobs` value.
+ * Analytics and persistence: the report carries the frontier's
+ * hypervolume (per generation for the generational strategies) and
+ * can be fed back via ExploreOptions::resume — saved points re-seed
+ * the frontier without re-simulation and, for EVOLVE, form the
+ * initial population.
+ *
+ * Determinism: all strategy decisions (sampling, selection,
+ * promotion, pruning, frontier updates) happen between fixed-size
+ * candidate batches, every random draw comes from a seeded stream
+ * derived only from (seed, purpose, generation/restart index), and
+ * batch contents never depend on the job count — so the result, and
+ * its serialized form, is byte-identical for any `--jobs` value.
  */
 
 #ifndef LTRF_DSE_EXPLORER_HH
@@ -33,6 +53,8 @@
 #include <string>
 #include <vector>
 
+#include "dse/frontier_io.hh"
+#include "dse/hypervolume.hh"
 #include "dse/pareto.hh"
 #include "dse/space.hh"
 #include "harness/emit.hh"
@@ -46,12 +68,14 @@ enum class Strategy
     GRID,
     RANDOM,
     HILL_CLIMB,
+    EVOLVE,
+    HALVING,
 };
 
-/** @return "grid", "random", or "hill". */
+/** @return "grid", "random", "hill", "evolve", or "halving". */
 const char *strategyName(Strategy s);
 
-/** Parse "grid" / "random" / "hill" (case-insensitive). */
+/** Parse a strategyName() token (case-insensitive). */
 bool parseStrategy(const std::string &name, Strategy &out);
 
 struct ExploreOptions
@@ -59,9 +83,11 @@ struct ExploreOptions
     Strategy strategy = Strategy::GRID;
 
     /**
-     * Maximum distinct candidate points considered. 0 means "the
-     * whole space" for GRID and is a user error for the other
-     * strategies (an unbounded random walk is never intended).
+     * Maximum distinct candidate points considered (screened points
+     * count). 0 means "the whole space" for GRID, "bounded by
+     * generations x population" for EVOLVE/HALVING, and is a user
+     * error for RANDOM/HILL_CLIMB (an unbounded random walk is
+     * never intended).
      */
     std::uint64_t budget = 0;
 
@@ -77,8 +103,41 @@ struct ExploreOptions
      *  depend on it. */
     int jobs = 0;
 
-    /** -1 = per-strategy default (GRID off, others on); 0/1 force. */
+    /** -1 = per-strategy default (RANDOM/HILL on, others off);
+     *  0/1 force. */
     int prune = -1;
+
+    // ----- Generational strategies (EVOLVE, HALVING) -----
+
+    /** Generations after the initial population (EVOLVE) or
+     *  screening rounds (HALVING). 0 with a resume seed replays the
+     *  saved frontier without any new simulation. */
+    int generations = 8;
+
+    /** Population (EVOLVE) / per-generation candidate pool
+     *  (HALVING) size. */
+    int population = 16;
+
+    /**
+     * HALVING's screening subset: explicit workload names (must be
+     * drawn from the active suite), or empty = the first
+     * screen_count workloads of the active suite.
+     */
+    std::vector<std::string> screen_workloads;
+    int screen_count = 2;
+
+    /** Hypervolume reference point (see defaultHvRef()). */
+    Objectives hv_ref = defaultHvRef();
+
+    /**
+     * Saved points to resume from (frontier_io). All of them
+     * re-seed the frontier with their saved objectives — no
+     * re-simulation — and the in-space ones join EVOLVE's initial
+     * population. The saved workload list, SM count, and workload
+     * seed must match the active ones: objectives measured under
+     * different simulation parameters do not compare.
+     */
+    FrontierSeed resume;
 };
 
 /** One evaluated design point. */
@@ -89,6 +148,11 @@ struct PointResult
     RfConfig model;
     Objectives obj;
     bool on_frontier = false;
+    /** Carried over from a saved report, not simulated in this run. */
+    bool resumed = false;
+    /** Generation that evaluated the point (-1 outside EVOLVE /
+     *  HALVING and for resumed points). */
+    int gen = -1;
 };
 
 /** The outcome of an exploration. */
@@ -102,20 +166,42 @@ struct DseResult
     int num_sms = 0;
     bool prune = false;
     std::uint64_t space_size = 0;
+    int generations = 0;
+    int population = 0;
+    std::vector<std::string> screen_workloads;    ///< HALVING only
+    Objectives hv_ref;
 
-    /** Evaluated points, in evaluation order. */
+    /** Evaluated points, in evaluation order (resumed seed first). */
     std::vector<PointResult> evaluated;
     /** Indices into evaluated, IPC-descending (frontier order). */
     std::vector<int> frontier;
 
+    /** Frontier state after a generation (one entry, gen 0, for the
+     *  non-generational strategies). */
+    struct GenStat
+    {
+        int gen = 0;
+        std::uint64_t evaluated = 0;    ///< cumulative full-fidelity
+        std::uint64_t frontier_size = 0;
+        double hypervolume = 0.0;
+    };
+    std::vector<GenStat> progress;
+
+    /** Final frontier hypervolume against hv_ref. */
+    double hv = 0.0;
+
     // Cost counters.
     std::uint64_t pruned = 0;       ///< candidates skipped by dominance
-    std::uint64_t sim_reuse = 0;    ///< points served from the sim cache
+    std::uint64_t sim_reuse = 0;    ///< cells served from the sim cache
     std::uint64_t sim_cells = 0;    ///< (config, workload) cells simulated
+    std::uint64_t screened = 0;     ///< points screened at low fidelity
+    std::uint64_t resumed = 0;      ///< points seeded from --resume
+    std::uint64_t restarts = 0;     ///< HILL_CLIMB seeded restarts
 
-    /** Deterministic report (schema ltrf.dse.v1). */
+    /** Deterministic report (schema ltrf.dse.v2). */
     harness::Json toJson() const;
-    /** One row per evaluated point, frontier flag included. */
+    /** One row per evaluated point, frontier flag included, then a
+     *  per-generation hypervolume table. */
     std::string toCsv() const;
     /** toJson().dump(2)+"\n" or toCsv() per @p format. */
     std::string dumpAs(harness::OutputFormat format) const;
@@ -123,7 +209,9 @@ struct DseResult
 
 /**
  * Run the exploration. fatal() on invalid spaces, unknown workload
- * names, or a missing budget for non-grid strategies.
+ * names, a missing budget for RANDOM/HILL_CLIMB, bad generational
+ * parameters, or a resume seed measured on a different workload
+ * suite.
  */
 DseResult explore(const DesignSpace &space, const ExploreOptions &opt);
 

@@ -1,0 +1,159 @@
+#include "dse/frontier_io.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/log.hh"
+#include "harness/emit.hh"
+
+namespace ltrf::dse
+{
+
+using harness::Json;
+
+namespace
+{
+
+/**
+ * Rebuild a DesignPoint from its stable key
+ * ("tech/bN/zN/net/cN/policy/wN"). The key is the report's identity
+ * field and is made of the CLI tokens, unlike the human-readable
+ * tech/network display columns.
+ */
+DesignPoint
+parsePoint(const std::string &key)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : key) {
+        if (c == '/') {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    parts.push_back(cur);
+    if (parts.size() != 7)
+        ltrf_fatal("malformed design point key \"%s\"", key.c_str());
+
+    auto number = [&](const std::string &s, char prefix) {
+        if (s.size() < 2 || s[0] != prefix)
+            ltrf_fatal("malformed axis \"%s\" in key \"%s\"",
+                       s.c_str(), key.c_str());
+        char *end = nullptr;
+        const long n = std::strtol(s.c_str() + 1, &end, 10);
+        if (end != s.c_str() + s.size())
+            ltrf_fatal("malformed axis \"%s\" in key \"%s\"",
+                       s.c_str(), key.c_str());
+        return static_cast<int>(n);
+    };
+
+    DesignPoint p;
+    if (!parseCellTech(parts[0], p.tech))
+        ltrf_fatal("unknown tech \"%s\" in key \"%s\"",
+                   parts[0].c_str(), key.c_str());
+    p.banks_mult = number(parts[1], 'b');
+    p.bank_size_mult = number(parts[2], 'z');
+    if (!parseNetwork(parts[3], p.network))
+        ltrf_fatal("unknown network \"%s\" in key \"%s\"",
+                   parts[3].c_str(), key.c_str());
+    p.cache_kb = number(parts[4], 'c');
+    if (!parsePolicy(parts[5], p.policy))
+        ltrf_fatal("unknown policy \"%s\" in key \"%s\"",
+                   parts[5].c_str(), key.c_str());
+    p.active_warps = number(parts[6], 'w');
+
+    // Resumed points flow straight into the RF model, whose range
+    // checks are asserts (internal errors) — a hand-edited report
+    // is a user error and must die with a clean fatal() instead.
+    auto pow2 = [](int v) { return v >= 1 && (v & (v - 1)) == 0; };
+    if (!pow2(p.banks_mult) || p.banks_mult > 64)
+        ltrf_fatal("banks multiplier in key \"%s\" must be a power "
+                   "of two in [1, 64]", key.c_str());
+    if (!pow2(p.bank_size_mult) || p.bank_size_mult > 64)
+        ltrf_fatal("bank-size multiplier in key \"%s\" must be a "
+                   "power of two in [1, 64]", key.c_str());
+    if (p.cache_kb < 1)
+        ltrf_fatal("cache size in key \"%s\" must be >= 1KB",
+                   key.c_str());
+    if (p.active_warps < 1)
+        ltrf_fatal("active warp count in key \"%s\" must be >= 1",
+                   key.c_str());
+    return p;
+}
+
+} // namespace
+
+FrontierSeed
+parseDseReport(const Json &root)
+{
+    const std::string schema = root.stringOr("schema", "(missing)");
+    if (schema != "ltrf.dse.v1" && schema != "ltrf.dse.v2")
+        ltrf_fatal("not an ltrf_dse report: schema \"%s\" (expected "
+                   "ltrf.dse.v1 or ltrf.dse.v2)",
+                   schema.c_str());
+
+    FrontierSeed seed;
+    seed.strategy = root.stringOr("strategy", "");
+    if (root.contains("seed")) {
+        const std::string &s = root.at("seed").asString();
+        char *end = nullptr;
+        seed.seed = std::strtoull(s.c_str(), &end, 10);
+        if (s.empty() || end != s.c_str() + s.size())
+            ltrf_fatal("malformed seed \"%s\" in saved report",
+                       s.c_str());
+        seed.has_seed = true;
+    }
+    if (root.contains("num_sms")) {
+        seed.num_sms =
+                static_cast<int>(root.at("num_sms").asInt());
+        seed.has_num_sms = true;
+    }
+    if (root.contains("workloads"))
+        for (std::size_t i = 0; i < root.at("workloads").size(); i++)
+            seed.workloads.push_back(
+                    root.at("workloads").at(i).asString());
+
+    const Json &points = root.at("points");
+    for (std::size_t i = 0; i < points.size(); i++) {
+        const Json &j = points.at(i);
+        SeedPoint sp;
+        sp.point = parsePoint(j.at("key").asString());
+        sp.obj.ipc = j.at("ipc").asDouble();
+        sp.obj.energy = j.at("energy").asDouble();
+        sp.obj.area = j.at("total_area").asDouble();
+        // Resumed objectives bypass evaluation, so a hand-edited
+        // non-finite value (1e999 parses to +Inf) would otherwise
+        // poison the frontier and only die at serialization time.
+        if (!std::isfinite(sp.obj.ipc) ||
+            !std::isfinite(sp.obj.energy) ||
+            !std::isfinite(sp.obj.area))
+            ltrf_fatal("non-finite objectives for \"%s\" in saved "
+                       "report", sp.point.key().c_str());
+        sp.on_frontier = j.boolOr("frontier", false);
+        seed.points.push_back(sp);
+    }
+
+    // Cross-check the frontier list against the per-point flags: a
+    // hand-edited report whose two views disagree is not resumable.
+    if (root.contains("frontier")) {
+        std::size_t flagged = 0;
+        for (const SeedPoint &sp : seed.points)
+            flagged += sp.on_frontier ? 1 : 0;
+        if (flagged != root.at("frontier").size())
+            ltrf_fatal("saved report is inconsistent: %zu points "
+                       "flagged frontier but %zu frontier keys",
+                       flagged, root.at("frontier").size());
+    }
+    return seed;
+}
+
+FrontierSeed
+loadFrontierFile(const std::string &path)
+{
+    return parseDseReport(
+            Json::parse(harness::readTextFile(path)));
+}
+
+} // namespace ltrf::dse

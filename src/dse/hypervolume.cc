@@ -1,0 +1,99 @@
+#include "dse/hypervolume.hh"
+
+#include <algorithm>
+#include <array>
+
+namespace ltrf::dse
+{
+
+namespace
+{
+
+/** A point's gains over the reference, all axes maximized. */
+using Gain = std::array<double, 3>;
+
+/**
+ * Area of the union of origin-anchored rectangles [0,a]x[0,b].
+ * @p rects must be sorted descending by first coordinate. The union
+ * is integrated as sum over slabs of (slab width) x (max height of
+ * rectangles wide enough to cover the slab).
+ */
+double
+unionArea(const std::vector<std::array<double, 2>> &rects)
+{
+    double area = 0.0;
+    double max_b = 0.0;
+    for (std::size_t i = 0; i < rects.size(); i++) {
+        max_b = std::max(max_b, rects[i][1]);
+        const double next_a =
+                i + 1 < rects.size() ? rects[i + 1][0] : 0.0;
+        area += (rects[i][0] - next_a) * max_b;
+    }
+    return area;
+}
+
+} // namespace
+
+Objectives
+defaultHvRef()
+{
+    Objectives ref;
+    ref.ipc = 0.0;
+    ref.energy = 2.0;
+    ref.area = 8.0;
+    return ref;
+}
+
+double
+hypervolume(const std::vector<Objectives> &points,
+            const Objectives &ref)
+{
+    // Translate into gain space (all axes maximized, reference at
+    // the origin); points at or beyond the reference contribute no
+    // volume and are dropped so they cannot perturb the sums.
+    std::vector<Gain> gains;
+    gains.reserve(points.size());
+    for (const Objectives &p : points) {
+        Gain g{p.ipc - ref.ipc, ref.energy - p.energy,
+               ref.area - p.area};
+        if (g[0] > 0.0 && g[1] > 0.0 && g[2] > 0.0)
+            gains.push_back(g);
+    }
+    // Canonical order before any accumulation: the result is a
+    // function of the point *set*, bit-identical under permutation.
+    std::sort(gains.begin(), gains.end(),
+              [](const Gain &a, const Gain &b) {
+                  if (a[0] != b[0])
+                      return a[0] > b[0];
+                  if (a[1] != b[1])
+                      return a[1] > b[1];
+                  return a[2] > b[2];
+              });
+    gains.erase(std::unique(gains.begin(), gains.end()), gains.end());
+
+    // Sweep the first axis: between consecutive distinct g0 values
+    // exactly the prefix of boxes is active, and the slab volume is
+    // the slab width times the 2D union area of that prefix.
+    double volume = 0.0;
+    std::vector<std::array<double, 2>> rects;
+    for (std::size_t i = 0; i < gains.size(); i++) {
+        rects.push_back({gains[i][1], gains[i][2]});
+        const double next_g0 =
+                i + 1 < gains.size() ? gains[i + 1][0] : 0.0;
+        const double width = gains[i][0] - next_g0;
+        if (width == 0.0)
+            continue;
+        std::vector<std::array<double, 2>> sorted = rects;
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const std::array<double, 2> &a,
+                     const std::array<double, 2> &b) {
+                      if (a[0] != b[0])
+                          return a[0] > b[0];
+                      return a[1] > b[1];
+                  });
+        volume += width * unionArea(sorted);
+    }
+    return volume;
+}
+
+} // namespace ltrf::dse

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reference-point hypervolume indicator over the three DSE
+ * objectives (IPC maximized; energy and area minimized).
+ *
+ * The hypervolume of a point set is the volume of objective space
+ * dominated by the set and bounded by a reference point: the
+ * standard scalar measure of frontier quality (larger is better).
+ * Reported per generation by the evolutionary and
+ * successive-halving strategies so a search's convergence is
+ * visible in the report, and used by tests as a frontier-quality
+ * invariant (inserting points can never shrink it).
+ *
+ * The computation is exact (a 3D sweep over the union of
+ * reference-anchored boxes, O(n^2 log n)) and permutation-invariant
+ * down to the bit: points are canonically sorted before any
+ * floating-point accumulation, so the same point set always
+ * produces the same double.
+ */
+
+#ifndef LTRF_DSE_HYPERVOLUME_HH
+#define LTRF_DSE_HYPERVOLUME_HH
+
+#include <vector>
+
+#include "dse/pareto.hh"
+
+namespace ltrf::dse
+{
+
+/**
+ * The default reference point: IPC 0 (every design beats a stalled
+ * GPU), energy 2.0 and area 8.0 (well above any sane design; the
+ * worst Table 2 organizations sit near 1.0 energy and 4x area).
+ * Override with `ltrf_dse --hv-ref`.
+ */
+Objectives defaultHvRef();
+
+/**
+ * Hypervolume of @p points against @p ref: the volume of the region
+ * { ipc in [ref.ipc, p.ipc], energy in [p.energy, ref.energy],
+ * area in [p.area, ref.area] } unioned over all points. Points that
+ * do not strictly improve on the reference in every objective
+ * contribute nothing; an empty set has hypervolume 0.
+ */
+double hypervolume(const std::vector<Objectives> &points,
+                   const Objectives &ref);
+
+} // namespace ltrf::dse
+
+#endif // LTRF_DSE_HYPERVOLUME_HH

@@ -13,6 +13,16 @@ dominates(const Objectives &a, const Objectives &b)
     return a.ipc > b.ipc || a.energy < b.energy || a.area < b.area;
 }
 
+std::vector<Objectives>
+ParetoFrontier::objectives() const
+{
+    std::vector<Objectives> out;
+    out.reserve(members_.size());
+    for (const Member &m : members_)
+        out.push_back(m.obj);
+    return out;
+}
+
 bool
 ParetoFrontier::dominated(const Objectives &obj) const
 {

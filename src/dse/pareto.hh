@@ -57,6 +57,10 @@ class ParetoFrontier
     /** Members ordered by IPC descending, then insertion index. */
     const std::vector<Member> &members() const { return members_; }
 
+    /** The members' objective vectors, in members() order (the
+     *  hypervolume indicator's input). */
+    std::vector<Objectives> objectives() const;
+
     std::size_t size() const { return members_.size(); }
 
   private:

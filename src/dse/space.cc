@@ -273,6 +273,21 @@ DesignSpace::neighbors(const DesignPoint &p) const
     return out;
 }
 
+bool
+DesignSpace::contains(const DesignPoint &p) const
+{
+    if (axisIndex(techs, p.tech) < 0 ||
+        axisIndex(banks, p.banks_mult) < 0 ||
+        axisIndex(bank_sizes, p.bank_size_mult) < 0 ||
+        axisIndex(cache_kbs, p.cache_kb) < 0 ||
+        axisIndex(policies, p.policy) < 0 ||
+        axisIndex(warps, p.active_warps) < 0)
+        return false;
+    if (networks.empty())
+        return p.network == defaultNetwork(p.banks_mult);
+    return axisIndex(networks, p.network) >= 0;
+}
+
 void
 DesignSpace::validate() const
 {

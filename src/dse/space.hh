@@ -140,6 +140,15 @@ struct DesignSpace
      */
     std::vector<DesignPoint> neighbors(const DesignPoint &p) const;
 
+    /**
+     * True if every axis value of @p p is allowed by this space
+     * (with an auto network axis, the network must be the default
+     * pairing for @p p's bank count). Used when resuming: points
+     * from a saved frontier seed the Pareto frontier regardless, but
+     * only in-space points can join a strategy's population.
+     */
+    bool contains(const DesignPoint &p) const;
+
     /** fatal() on empty axes or values the simulator cannot run. */
     void validate() const;
 };

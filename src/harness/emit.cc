@@ -47,4 +47,24 @@ writeTextFile(const std::string &path, const std::string &text)
         ltrf_fatal("short write to %s", path.c_str());
 }
 
+std::string
+readTextFile(const std::string &path)
+{
+    std::FILE *f = path == "-" ? stdin : std::fopen(path.c_str(), "r");
+    if (!f)
+        ltrf_fatal("cannot open %s for reading: %s", path.c_str(),
+                   std::strerror(errno));
+    std::string text;
+    char buf[64 * 1024];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    const bool bad = std::ferror(f) != 0;
+    if (f != stdin)
+        std::fclose(f);
+    if (bad)
+        ltrf_fatal("read error on %s", path.c_str());
+    return text;
+}
+
 } // namespace ltrf::harness

@@ -37,6 +37,13 @@ bool parseOutputFormat(const std::string &s, OutputFormat &out);
  */
 void writeTextFile(const std::string &path, const std::string &text);
 
+/**
+ * Read @p path in full; "-" reads stdin. fatal() on I/O errors.
+ * The inverse of writeTextFile(), used by `ltrf_dse --resume` to
+ * round-trip saved frontier reports.
+ */
+std::string readTextFile(const std::string &path);
+
 } // namespace ltrf::harness
 
 #endif // LTRF_HARNESS_EMIT_HH

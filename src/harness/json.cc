@@ -414,6 +414,23 @@ Json::numberOr(const std::string &key, double fallback) const
     return at(key).asDouble();
 }
 
+bool
+Json::boolOr(const std::string &key, bool fallback) const
+{
+    if (!contains(key))
+        return fallback;
+    return at(key).asBool();
+}
+
+std::string
+Json::stringOr(const std::string &key,
+               const std::string &fallback) const
+{
+    if (!contains(key))
+        return fallback;
+    return at(key).asString();
+}
+
 const std::vector<std::pair<std::string, Json>> &
 Json::items() const
 {

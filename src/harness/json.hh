@@ -74,6 +74,11 @@ class Json
     const Json &at(const std::string &key) const;
     /** Look @p key up; @p fallback if absent. */
     double numberOr(const std::string &key, double fallback) const;
+    /** Look @p key up; @p fallback if absent. */
+    bool boolOr(const std::string &key, bool fallback) const;
+    /** Look @p key up; @p fallback if absent. */
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
     const std::vector<std::pair<std::string, Json>> &items() const;
 
     /**

@@ -304,17 +304,7 @@ ResultSet::writeFile(const std::string &path, OutputFormat format) const
 ResultSet
 ResultSet::readJsonFile(const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "r");
-    if (!f)
-        ltrf_fatal("cannot open %s: %s", path.c_str(),
-                   std::strerror(errno));
-    std::string text;
-    char buf[4096];
-    std::size_t n;
-    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
-        text.append(buf, n);
-    std::fclose(f);
-    return fromJson(Json::parse(text));
+    return fromJson(Json::parse(readTextFile(path)));
 }
 
 void

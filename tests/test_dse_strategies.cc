@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Tests for the adaptive DSE strategies: the evolutionary (EVOLVE)
+ * and successive-halving (HALVING) searches are byte-deterministic
+ * across --jobs values and reruns, halving's multi-fidelity
+ * promotion reuses screened cells and (when screening at full
+ * fidelity) lands inside the full grid's frontier, per-generation
+ * hypervolume is recorded, and the hill-climb's per-restart RNG
+ * streams are pinned by a regression sequence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dse/explorer.hh"
+#include "dse/space.hh"
+
+using namespace ltrf;
+using namespace ltrf::dse;
+
+namespace
+{
+
+/** A 4-point space that evaluates in ~a second. */
+DesignSpace
+microSpace()
+{
+    DesignSpace s;
+    s.techs = {CellTech::HP_SRAM, CellTech::TFET_SRAM};
+    s.banks = {1, 8};
+    s.bank_sizes = {1};
+    s.networks = {};    // auto
+    s.cache_kbs = {16};
+    s.policies = {PrefetchPolicy::INTERVAL};
+    s.warps = {8};
+    return s;
+}
+
+/** Six points: three technologies at 1x and 8x banks. */
+DesignSpace
+smallSpace()
+{
+    DesignSpace s = microSpace();
+    s.techs = {CellTech::HP_SRAM, CellTech::TFET_SRAM,
+               CellTech::DWM};
+    return s;
+}
+
+ExploreOptions
+microOptions()
+{
+    ExploreOptions opt;
+    opt.workloads = {"bfs", "btree"};
+    opt.num_sms = 1;
+    opt.seed = 2018;
+    return opt;
+}
+
+std::vector<std::string>
+evaluatedKeys(const DseResult &res)
+{
+    std::vector<std::string> keys;
+    for (const PointResult &pr : res.evaluated)
+        keys.push_back(pr.point.key());
+    return keys;
+}
+
+std::set<std::string>
+frontierKeys(const DseResult &res)
+{
+    std::set<std::string> keys;
+    for (int idx : res.frontier)
+        keys.insert(res.evaluated[static_cast<std::size_t>(idx)]
+                            .point.key());
+    return keys;
+}
+
+} // namespace
+
+// ----- Determinism -----
+
+TEST(EvolveStrategy, ByteDeterministicAcrossJobsAndReruns)
+{
+    ExploreOptions opt = microOptions();
+    opt.strategy = Strategy::EVOLVE;
+    opt.population = 4;
+    opt.generations = 2;
+
+    opt.jobs = 1;
+    const DseResult j1 = explore(smallSpace(), opt);
+    opt.jobs = 2;
+    const DseResult j2 = explore(smallSpace(), opt);
+    opt.jobs = 4;
+    const DseResult j4 = explore(smallSpace(), opt);
+    opt.jobs = 1;
+    const DseResult rerun = explore(smallSpace(), opt);
+
+    const std::string ref = j1.toJson().dump(2);
+    EXPECT_EQ(ref, j2.toJson().dump(2));
+    EXPECT_EQ(ref, j4.toJson().dump(2));
+    EXPECT_EQ(ref, rerun.toJson().dump(2));
+    EXPECT_EQ(j1.toCsv(), j2.toCsv());
+    EXPECT_EQ(j1.toCsv(), j4.toCsv());
+    EXPECT_FALSE(j1.frontier.empty());
+}
+
+TEST(HalvingStrategy, ByteDeterministicAcrossJobsAndReruns)
+{
+    ExploreOptions opt = microOptions();
+    opt.strategy = Strategy::HALVING;
+    opt.population = 4;
+    opt.generations = 2;
+    opt.screen_workloads = {"bfs"};
+
+    opt.jobs = 1;
+    const DseResult j1 = explore(smallSpace(), opt);
+    opt.jobs = 2;
+    const DseResult j2 = explore(smallSpace(), opt);
+    opt.jobs = 4;
+    const DseResult j4 = explore(smallSpace(), opt);
+    opt.jobs = 1;
+    const DseResult rerun = explore(smallSpace(), opt);
+
+    const std::string ref = j1.toJson().dump(2);
+    EXPECT_EQ(ref, j2.toJson().dump(2));
+    EXPECT_EQ(ref, j4.toJson().dump(2));
+    EXPECT_EQ(ref, rerun.toJson().dump(2));
+    EXPECT_EQ(j1.toCsv(), j2.toCsv());
+    EXPECT_FALSE(j1.frontier.empty());
+    EXPECT_GT(j1.screened, 0u);
+}
+
+// ----- Evolutionary search -----
+
+TEST(EvolveStrategy, RespectsPopulationGenerationsAndBudget)
+{
+    ExploreOptions opt = microOptions();
+    opt.strategy = Strategy::EVOLVE;
+    opt.population = 2;
+    opt.generations = 1;
+    const DseResult res = explore(microSpace(), opt);
+    // Initial population of 2 plus at most 2 offspring.
+    EXPECT_LE(res.evaluated.size(), 4u);
+    EXPECT_GE(res.evaluated.size(), 2u);
+    // One progress entry per generation, plus generation 0.
+    ASSERT_EQ(res.progress.size(), 2u);
+    EXPECT_EQ(res.progress[0].gen, 0);
+    EXPECT_EQ(res.progress[1].gen, 1);
+
+    // A budget caps everything, including the initial population.
+    opt.population = 4;
+    opt.generations = 8;
+    opt.budget = 3;
+    const DseResult capped = explore(microSpace(), opt);
+    EXPECT_LE(capped.evaluated.size(), 3u);
+}
+
+TEST(EvolveStrategy, HypervolumeIsMonotoneAcrossGenerations)
+{
+    ExploreOptions opt = microOptions();
+    opt.strategy = Strategy::EVOLVE;
+    opt.population = 4;
+    opt.generations = 3;
+    const DseResult res = explore(smallSpace(), opt);
+    ASSERT_GE(res.progress.size(), 2u);
+    for (std::size_t k = 1; k < res.progress.size(); k++)
+        EXPECT_GE(res.progress[k].hypervolume + 1e-9,
+                  res.progress[k - 1].hypervolume);
+    EXPECT_EQ(res.hv, res.progress.back().hypervolume);
+    EXPECT_GT(res.hv, 0.0);
+}
+
+TEST(EvolveStrategy, OffspringAreDistinctFromEverythingSeen)
+{
+    ExploreOptions opt = microOptions();
+    opt.strategy = Strategy::EVOLVE;
+    opt.population = 4;
+    opt.generations = 4;
+    const DseResult res = explore(smallSpace(), opt);
+    std::set<std::string> keys;
+    for (const std::string &k : evaluatedKeys(res))
+        EXPECT_TRUE(keys.insert(k).second) << "duplicate " << k;
+    // The 6-point space bounds a converged search.
+    EXPECT_LE(res.evaluated.size(), 6u);
+}
+
+// ----- Successive halving -----
+
+TEST(HalvingStrategy, FullFidelityScreeningFrontierIsSubsetOfGrid)
+{
+    ExploreOptions opt = microOptions();
+    opt.strategy = Strategy::GRID;
+    const DseResult grid = explore(microSpace(), opt);
+
+    // Screening on the full suite: promotion keeps whole
+    // non-domination fronts, so every frontier survivor is globally
+    // Pareto-optimal and must appear in the exhaustive grid's
+    // frontier.
+    opt.strategy = Strategy::HALVING;
+    opt.population = 4;    // the whole space in one pool
+    opt.generations = 1;
+    opt.screen_workloads = {"bfs", "btree"};
+    const DseResult halving = explore(microSpace(), opt);
+
+    const std::set<std::string> gridFront = frontierKeys(grid);
+    ASSERT_FALSE(halving.frontier.empty());
+    for (const std::string &k : frontierKeys(halving))
+        EXPECT_TRUE(gridFront.count(k))
+                << k << " not on the grid frontier";
+
+    // Full-fidelity objectives agree bit-exactly with the grid's.
+    for (int idx : halving.frontier) {
+        const PointResult &h =
+                halving.evaluated[static_cast<std::size_t>(idx)];
+        for (const PointResult &g : grid.evaluated)
+            if (g.point == h.point) {
+                EXPECT_EQ(g.obj.ipc, h.obj.ipc);
+                EXPECT_EQ(g.obj.energy, h.obj.energy);
+                EXPECT_EQ(g.obj.area, h.obj.area);
+            }
+    }
+}
+
+TEST(HalvingStrategy, PromotionsNeverResimulateScreenedCells)
+{
+    ExploreOptions opt = microOptions();
+    opt.strategy = Strategy::HALVING;
+    opt.population = 4;
+    opt.generations = 1;
+    opt.screen_workloads = {"bfs"};
+    const DseResult res = explore(microSpace(), opt);
+
+    // One pool of 4 screened on 1 workload, top 2 promoted to the
+    // 2-workload suite: 2 baseline cells + 4 screening cells + 2
+    // promotion cells (the promoted points' bfs rows come from the
+    // cache).
+    EXPECT_EQ(res.screened, 4u);
+    EXPECT_EQ(res.evaluated.size(), 2u);
+    EXPECT_EQ(res.sim_cells, 2u + 4u + 2u);
+    EXPECT_EQ(res.sim_reuse, 2u);
+    // Only full-fidelity points reach the report/frontier.
+    for (const PointResult &pr : res.evaluated)
+        EXPECT_EQ(pr.gen, 1);
+}
+
+TEST(HalvingStrategy, ScreenSubsetDefaultsAndValidation)
+{
+    ExploreOptions opt = microOptions();
+    opt.strategy = Strategy::HALVING;
+    opt.population = 4;
+    opt.generations = 1;
+    // Default: the first screen_count workloads of the active suite.
+    const DseResult res = explore(microSpace(), opt);
+    EXPECT_EQ(res.screen_workloads,
+              (std::vector<std::string>{"bfs", "btree"}));
+
+    opt.screen_count = 1;
+    const DseResult one = explore(microSpace(), opt);
+    EXPECT_EQ(one.screen_workloads,
+              (std::vector<std::string>{"bfs"}));
+}
+
+TEST(HalvingStrategyDeathTest, RejectsScreenWorkloadOutsideSuite)
+{
+    ExploreOptions opt = microOptions();
+    opt.strategy = Strategy::HALVING;
+    opt.population = 4;
+    opt.generations = 1;
+    opt.screen_workloads = {"pagerank"};
+    EXPECT_EXIT(explore(microSpace(), opt),
+                testing::ExitedWithCode(1),
+                "not in the active suite");
+}
+
+// ----- Hill-climb restart streams (regression) -----
+
+/**
+ * Restarts draw from per-restart streams mixSeeds(seed, STREAM + k)
+ * instead of one shared generator, so restart K's samples cannot
+ * drift with how many draws earlier phases consumed. This pins the
+ * full evaluation sequence of a search that needs a restart (the
+ * c32 column is unreachable by expansion before the frontier is
+ * exhausted); a regression to a shared generator changes the
+ * restart sample and breaks the sequence.
+ */
+TEST(HillClimbStrategy, RestartSequenceIsPinned)
+{
+    DesignSpace s;
+    s.techs = {CellTech::HP_SRAM};
+    s.banks = {1};
+    s.bank_sizes = {1};
+    s.networks = {};
+    s.cache_kbs = {8, 16, 32};
+    s.policies = {PrefetchPolicy::INTERVAL};
+    s.warps = {4, 8, 16};
+
+    ExploreOptions opt;
+    opt.workloads = {"bfs"};
+    opt.num_sms = 1;
+    opt.seed = 5;
+    opt.strategy = Strategy::HILL_CLIMB;
+    opt.budget = 9;
+
+    const DseResult res = explore(s, opt);
+    EXPECT_EQ(res.restarts, 1u);
+    const std::vector<std::string> expected = {
+            "hp/b1/z1/xbar/c8/interval/w4",
+            "hp/b1/z1/xbar/c16/interval/w4",
+            "hp/b1/z1/xbar/c8/interval/w8",
+            "hp/b1/z1/xbar/c16/interval/w8",
+            "hp/b1/z1/xbar/c8/interval/w16",
+            "hp/b1/z1/xbar/c16/interval/w16",
+            "hp/b1/z1/xbar/c32/interval/w16",
+            "hp/b1/z1/xbar/c32/interval/w8",
+            "hp/b1/z1/xbar/c32/interval/w4",
+    };
+    EXPECT_EQ(evaluatedKeys(res), expected);
+}
+
+TEST(HillClimbStrategy, RestartsAreIndependentOfBudgetTruncation)
+{
+    DesignSpace s;
+    s.techs = {CellTech::HP_SRAM};
+    s.banks = {1};
+    s.bank_sizes = {1};
+    s.networks = {};
+    s.cache_kbs = {8, 16, 32};
+    s.policies = {PrefetchPolicy::INTERVAL};
+    s.warps = {4, 8, 16};
+
+    ExploreOptions opt;
+    opt.workloads = {"bfs"};
+    opt.num_sms = 1;
+    opt.seed = 5;
+    opt.strategy = Strategy::HILL_CLIMB;
+
+    opt.budget = 7;
+    const DseResult small = explore(s, opt);
+    opt.budget = 9;
+    const DseResult full = explore(s, opt);
+    // The shorter run's evaluation sequence is a prefix of the
+    // longer one's: the budget only truncates, it never perturbs.
+    const std::vector<std::string> a = evaluatedKeys(small);
+    const std::vector<std::string> b = evaluatedKeys(full);
+    ASSERT_LE(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i++)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(HillClimbStrategy, ResumedOutOfSpaceMembersAreNotExpanded)
+{
+    // Save a frontier over three technologies, then resume it into
+    // a space restricted to HP: the tfet/dwm frontier members still
+    // seed the frontier, but expanding them would simulate points
+    // outside the restricted space (neighbors() steps the banks
+    // axis while keeping the out-of-space tech).
+    ExploreOptions opt = microOptions();
+    opt.strategy = Strategy::GRID;
+    const DseResult saved = explore(smallSpace(), opt);
+
+    DesignSpace restricted = smallSpace();
+    restricted.techs = {CellTech::HP_SRAM};
+
+    ExploreOptions resume_opt = microOptions();
+    resume_opt.strategy = Strategy::HILL_CLIMB;
+    resume_opt.budget = 4;
+    resume_opt.resume = parseDseReport(saved.toJson());
+    const DseResult res = explore(restricted, resume_opt);
+
+    for (const PointResult &pr : res.evaluated) {
+        if (!pr.resumed) {
+            EXPECT_TRUE(restricted.contains(pr.point))
+                    << pr.point.key() << " is outside the "
+                    << "restricted space";
+        }
+    }
+}
+
+// ----- Report plumbing shared by the new strategies -----
+
+TEST(DseReport, SingleProgressEntryForNonGenerationalStrategies)
+{
+    ExploreOptions opt = microOptions();
+    opt.strategy = Strategy::GRID;
+    const DseResult res = explore(microSpace(), opt);
+    ASSERT_EQ(res.progress.size(), 1u);
+    EXPECT_EQ(res.progress[0].gen, 0);
+    EXPECT_EQ(res.progress[0].evaluated, res.evaluated.size());
+    EXPECT_EQ(res.progress[0].frontier_size, res.frontier.size());
+    EXPECT_EQ(res.hv, res.progress[0].hypervolume);
+    EXPECT_GT(res.hv, 0.0);
+}
+
+TEST(DseReport, CsvCarriesThePerGenerationTable)
+{
+    ExploreOptions opt = microOptions();
+    opt.strategy = Strategy::EVOLVE;
+    opt.population = 2;
+    opt.generations = 1;
+    const DseResult res = explore(microSpace(), opt);
+    const std::string csv = res.toCsv();
+    const std::size_t hdr =
+            csv.find("gen,evaluated,frontier_size,hypervolume\n");
+    ASSERT_NE(hdr, std::string::npos);
+    // One row per progress entry after the header (every row ends
+    // in a newline, so count newlines past the header's).
+    std::size_t rows = 0;
+    for (std::size_t at = csv.find('\n', hdr);
+         (at = csv.find('\n', at + 1)) != std::string::npos;)
+        rows++;
+    EXPECT_EQ(rows, res.progress.size());
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Property tests for the hypervolume indicator: zero on the empty
+ * set, exact on hand-computed unions, invariant (bit-exact) under
+ * point permutation, blind to dominated or out-of-reference points,
+ * and monotone non-decreasing as points are inserted into a
+ * ParetoFrontier.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hh"
+#include "dse/hypervolume.hh"
+#include "dse/pareto.hh"
+
+using namespace ltrf;
+using namespace ltrf::dse;
+
+namespace
+{
+
+const Objectives REF{0.0, 2.0, 8.0};
+
+Objectives
+obj(double ipc, double energy, double area)
+{
+    return Objectives{ipc, energy, area};
+}
+
+} // namespace
+
+TEST(Hypervolume, EmptySetIsZero)
+{
+    EXPECT_EQ(hypervolume({}, REF), 0.0);
+    ParetoFrontier empty;
+    EXPECT_EQ(hypervolume(empty.objectives(), REF), 0.0);
+}
+
+TEST(Hypervolume, SinglePointIsItsBox)
+{
+    // Gains over REF: (1.0, 1.0, 7.0).
+    EXPECT_DOUBLE_EQ(hypervolume({obj(1.0, 1.0, 1.0)}, REF), 7.0);
+}
+
+TEST(Hypervolume, PointsOutsideTheReferenceContributeNothing)
+{
+    // At or beyond the reference on any axis: no volume.
+    EXPECT_EQ(hypervolume({obj(0.0, 1.0, 1.0)}, REF), 0.0);
+    EXPECT_EQ(hypervolume({obj(1.0, 2.5, 1.0)}, REF), 0.0);
+    EXPECT_EQ(hypervolume({obj(1.0, 1.0, 9.0)}, REF), 0.0);
+    // And they do not perturb in-reference points.
+    EXPECT_DOUBLE_EQ(
+            hypervolume({obj(1.0, 1.0, 1.0), obj(1.0, 2.5, 1.0)},
+                        REF),
+            7.0);
+}
+
+TEST(Hypervolume, TwoPointUnionMatchesInclusionExclusion)
+{
+    // Gains: a = (1, 1, 7), b = (2, 0.5, 4).
+    // |a| = 7, |b| = 4, |a n b| = 1 * 0.5 * 4 = 2 -> union 9.
+    const std::vector<Objectives> pts = {obj(1.0, 1.0, 1.0),
+                                         obj(2.0, 1.5, 4.0)};
+    EXPECT_DOUBLE_EQ(hypervolume(pts, REF), 9.0);
+}
+
+TEST(Hypervolume, ThreePointUnionMatchesInclusionExclusion)
+{
+    // Gains: a = (1, 1, 7), b = (2, 0.5, 4), c = (0.5, 1.5, 6).
+    // |a|=7 |b|=4 |c|=4.5, |ab|=2 |ac|=3 |bc|=1, |abc|=1 -> 10.5.
+    const std::vector<Objectives> pts = {obj(1.0, 1.0, 1.0),
+                                         obj(2.0, 1.5, 4.0),
+                                         obj(0.5, 0.5, 2.0)};
+    EXPECT_DOUBLE_EQ(hypervolume(pts, REF), 10.5);
+}
+
+TEST(Hypervolume, DominatedPointsAddNothing)
+{
+    const Objectives strong = obj(1.0, 1.0, 1.0);
+    const Objectives weak = obj(0.5, 1.5, 5.0);    // inside strong
+    EXPECT_DOUBLE_EQ(hypervolume({strong}, REF),
+                     hypervolume({strong, weak}, REF));
+    // Duplicates add nothing either.
+    EXPECT_DOUBLE_EQ(hypervolume({strong}, REF),
+                     hypervolume({strong, strong}, REF));
+}
+
+TEST(Hypervolume, BitExactUnderPermutation)
+{
+    std::vector<Objectives> pts = {
+            obj(1.0, 1.0, 1.0), obj(2.0, 1.5, 4.0),
+            obj(0.5, 0.5, 2.0), obj(1.2, 0.9, 0.5),
+            obj(1.0, 1.0, 1.0),    // duplicate on purpose
+    };
+    const double expected = hypervolume(pts, REF);
+    std::vector<std::size_t> perm{0, 1, 2, 3, 4};
+    int checked = 0;
+    while (std::next_permutation(perm.begin(), perm.end())) {
+        std::vector<Objectives> shuffled;
+        for (std::size_t i : perm)
+            shuffled.push_back(pts[i]);
+        // EXPECT_EQ, not NEAR: the canonical internal sort makes
+        // the sum a function of the point set alone.
+        EXPECT_EQ(hypervolume(shuffled, REF), expected);
+        checked++;
+    }
+    EXPECT_EQ(checked, 119);    // 5! - 1 permutations
+}
+
+TEST(Hypervolume, MonotoneNonDecreasingUnderFrontierInsertion)
+{
+    // Seeded random stream of objective vectors, some outside the
+    // reference box, inserted into a live frontier (which evicts
+    // dominated members): the indicator must never shrink.
+    Rng rng(2018);
+    ParetoFrontier frontier;
+    double prev = 0.0;
+    for (int i = 0; i < 128; i++) {
+        Objectives o;
+        o.ipc = rng.nextDouble() * 1.6 - 0.1;
+        o.energy = rng.nextDouble() * 2.4;
+        o.area = rng.nextDouble() * 9.5;
+        frontier.insert(i, o);
+        const double hv = hypervolume(frontier.objectives(), REF);
+        EXPECT_GE(hv, prev - 1e-9 * std::max(1.0, prev))
+                << "shrank at insertion " << i;
+        // Bounded by the reference box over the sampled ranges.
+        EXPECT_LE(hv, 1.6 * 2.0 * 8.0);
+        prev = hv;
+    }
+    EXPECT_GT(prev, 0.0);
+}
