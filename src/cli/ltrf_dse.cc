@@ -51,6 +51,14 @@ Space bounds (comma-separated lists restrict each axis):
   --policies LIST    none, rfc, shrf, strand, interval, interval+
                      (default: interval)
   --warps LIST       active warps per SM (default: 4,8,16)
+  --intervals LIST   registers per interval, decoupled from the
+                     cache partition; or "auto" to match each
+                     point's per-warp cache partition (default:
+                     auto)
+  --collectors LIST  operand collectors per SM (default: 8)
+  --dram-service LIST
+                     DRAM data-bus cycles per 128B line at 24 SMs:
+                     higher = less bandwidth (default: 1)
 
 Search:
   --strategy S       grid | random | hill | evolve | halving
@@ -59,6 +67,11 @@ Search:
                      count); required for random/hill, 0 = whole
                      space for grid and generations x population
                      for evolve/halving
+  --shard I/N        restrict grid enumeration and all sampling to
+                     the I-th of N balanced index-range stripes of
+                     the space; merge shard reports by running the
+                     next shard with --resume on the previous
+                     shard's report (default: 0/1)
   --seed S           sampling + workload seed (default: 2018)
   --generations N    evolve: offspring generations after the initial
                      population; halving: screening rounds
@@ -70,6 +83,9 @@ Search:
                      halving's low-fidelity screening subset: a
                      count N (the first N active workloads) or a
                      comma list of workload names (default: 2)
+  --promote-frac F   halving's promotion fraction: ceil(F * pool)
+                     screened candidates (at least one) advance to
+                     the full suite; F in (0, 1) (default: 0.5)
   --resume PATH      seed the frontier (and evolve's initial
                      population) from a saved ltrf_dse JSON report;
                      saved points are not re-simulated
@@ -114,6 +130,14 @@ listTargets()
                 "strand (LTRF strand), interval (LTRF),\n"
                 "           interval+ (LTRF+)\n");
     std::printf("workloads: %s\n", WorkloadSuite::namesList().c_str());
+    std::printf("axes:      ");
+    bool first = true;
+    for (const AxisDesc &ax : axisRegistry()) {
+        std::printf("%s%s (%s)", first ? "" : ", ", ax.name,
+                    ax.cli_flag);
+        first = false;
+    }
+    std::printf("\n");
     const DesignSpace def = DesignSpace::defaults();
     std::printf("default space: %llu points\n",
                 static_cast<unsigned long long>(def.size()));
@@ -146,12 +170,12 @@ parseArgs(int argc, char **argv)
             usageError("bad integer \"" + v + "\"");
         return static_cast<int>(n);
     };
-    auto intList = [&](int &i, const char *what) {
+    auto intListFrom = [&](const std::string &v, const char *what) {
         std::vector<int> out;
-        for (const std::string &s : harness::splitList(value(i))) {
+        for (const std::string &s : harness::splitList(v)) {
             char *end = nullptr;
             long n = std::strtol(s.c_str(), &end, 10);
-            if (end != s.c_str() + s.size())
+            if (s.empty() || end != s.c_str() + s.size())
                 usageError("bad " + std::string(what) + " \"" + s +
                            "\"");
             out.push_back(static_cast<int>(n));
@@ -159,6 +183,9 @@ parseArgs(int argc, char **argv)
         if (out.empty())
             usageError(std::string(what) + " list is empty");
         return out;
+    };
+    auto intList = [&](int &i, const char *what) {
+        return intListFrom(value(i), what);
     };
 
     for (int i = 1; i < argc; i++) {
@@ -210,6 +237,45 @@ parseArgs(int argc, char **argv)
                 usageError("--policies list is empty");
         } else if (a == "--warps") {
             opt.space.warps = intList(i, "warp count");
+        } else if (a == "--intervals") {
+            std::string v = value(i);
+            opt.space.intervals.clear();
+            if (v != "auto")
+                opt.space.intervals =
+                        intListFrom(v, "interval length");
+        } else if (a == "--collectors") {
+            opt.space.collectors =
+                    intList(i, "operand collector count");
+        } else if (a == "--dram-service") {
+            opt.space.dram_service =
+                    intList(i, "DRAM service-cycle scale");
+        } else if (a == "--shard") {
+            std::string v = value(i);
+            const std::size_t slash = v.find('/');
+            char *end = nullptr;
+            long idx = -1, cnt = 0;
+            if (slash != std::string::npos) {
+                idx = std::strtol(v.c_str(), &end, 10);
+                const bool idx_ok = end == v.c_str() + slash;
+                cnt = std::strtol(v.c_str() + slash + 1, &end, 10);
+                if (!idx_ok || end != v.c_str() + v.size())
+                    idx = -1;
+            }
+            if (slash == std::string::npos || idx < 0 || cnt < 1 ||
+                idx >= cnt)
+                usageError("bad --shard \"" + v +
+                           "\" (expected I/N with 0 <= I < N)");
+            opt.explore.shard_index = static_cast<int>(idx);
+            opt.explore.shard_count = static_cast<int>(cnt);
+        } else if (a == "--promote-frac") {
+            std::string v = value(i);
+            char *end = nullptr;
+            const double f = std::strtod(v.c_str(), &end);
+            if (v.empty() || end != v.c_str() + v.size() ||
+                !(f > 0.0 && f < 1.0))
+                usageError("--promote-frac must be a number in "
+                           "(0, 1), got \"" + v + "\"");
+            opt.explore.promote_frac = f;
         } else if (a == "--strategy") {
             std::string v = value(i);
             if (!parseStrategy(v, opt.explore.strategy))

@@ -42,6 +42,11 @@ SimConfig::validate() const
         ltrf_fatal("mrf_latency_mult %.2f must be >= 1.0", mrf_latency_mult);
     if (issue_width < 1 || num_operand_collectors < issue_width)
         ltrf_fatal("need at least issue_width operand collectors");
+    if (num_dram_banks < 1)
+        ltrf_fatal("num_dram_banks must be >= 1");
+    if (dram_service_cycles < 1)
+        ltrf_fatal("dram_service_cycles must be >= 1 (got %d)",
+                   dram_service_cycles);
 }
 
 } // namespace ltrf

@@ -9,6 +9,7 @@
 #ifndef LTRF_COMMON_CONFIG_HH
 #define LTRF_COMMON_CONFIG_HH
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -104,6 +105,10 @@ struct SimConfig
     // ----- Memory hierarchy (Table 3) -----
     std::size_t l1d_bytes = 16 * 1024;
     int l1d_assoc = 4;
+    /** Table 3 L1I organization, echoed for completeness:
+     *  instruction fetch is not simulated (traces drive the SMs), so
+     *  these two knobs deliberately reach no model. Every other
+     *  memory knob below is consumed by MemSystem/DramParams. */
     std::size_t l1i_bytes = 2 * 1024;
     int l1i_assoc = 4;
     std::size_t llc_bytes = 2 * 1024 * 1024;
@@ -125,7 +130,14 @@ struct SimConfig
      * behind 200-cycle row misses and memory latency balloons.
      */
     int num_dram_banks = 128;
-    /** DRAM data-bus cycles occupied per 128B line (bandwidth model). */
+    /**
+     * DRAM data-bus cycles occupied per 128B line at the paper's
+     * full 24-SM chip (bandwidth scale; `ltrf_dse` sweeps it as the
+     * DRAM-bandwidth axis). MemSystem rescales it with num_sms so
+     * the per-SM bandwidth share stays constant when benches
+     * simulate fewer SMs; DramParams::service_cycles carries the
+     * rescaled per-line bus time and shares this default.
+     */
     int dram_service_cycles = 1;
 
     // ----- Design selection -----
@@ -161,6 +173,20 @@ struct SimConfig
     cacheRegsPerWarp() const
     {
         return numCacheRegs() / num_active_warps;
+    }
+
+    /**
+     * Per-line DRAM bus occupancy after rescaling
+     * dram_service_cycles (defined at the paper's 24-SM chip) to
+     * the simulated SM count, keeping the per-SM bandwidth share
+     * constant (see DESIGN.md). Integer quantization means nearby
+     * knob values can coincide; simKey() uses this effective value,
+     * so such design points share one simulation.
+     */
+    int
+    effectiveDramServiceCycles() const
+    {
+        return std::max(1, dram_service_cycles * 24 / (num_sms * 2));
     }
 
     /** Sanity-check the configuration; calls fatal() on user error. */

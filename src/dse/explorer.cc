@@ -1,6 +1,7 @@
 #include "dse/explorer.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <map>
 #include <set>
@@ -53,9 +54,10 @@ struct BaselineRow
 /** Analytic summary used by the model-dominance pruning heuristic. */
 struct PruneEntry
 {
-    int cache_kb;
-    PrefetchPolicy policy;
-    int active_warps;
+    /** All non-model axis values (cache, policy, warps, interval,
+     *  collectors, DRAM service), joined from the registry: only
+     *  entries with identical contexts are comparable. */
+    std::string context;
     int capacity;
     int banks_mult;
     double latency;
@@ -237,19 +239,18 @@ class Evaluator
 
 /**
  * True if an already-evaluated entry makes simulating @p c
- * pointless: same cache/policy/warp axes, at least as much capacity
- * and banking, no more latency, and no more area or power — under
- * the model's monotonicity, such an entry is at least as good on
- * every objective. A heuristic (activity-dependent power can in
- * principle reorder), so exhaustive grids leave it off.
+ * pointless: same non-model axes, at least as much capacity and
+ * banking, no more latency, and no more area or power — under the
+ * model's monotonicity, such an entry is at least as good on every
+ * objective. A heuristic (activity-dependent power can in principle
+ * reorder), so exhaustive grids leave it off.
  */
 bool
 modelDominated(const std::vector<PruneEntry> &entries,
                const PruneEntry &c)
 {
     for (const PruneEntry &e : entries) {
-        if (e.cache_kb != c.cache_kb || e.policy != c.policy ||
-            e.active_warps != c.active_warps)
+        if (e.context != c.context)
             continue;
         if (e.capacity < c.capacity || e.banks_mult < c.banks_mult ||
             e.latency > c.latency || e.area > c.area ||
@@ -268,9 +269,9 @@ pruneEntryFor(const DesignPoint &p)
 {
     const RfConfig rc = makeRfConfig(p.modelPoint());
     PruneEntry e;
-    e.cache_kb = p.cache_kb;
-    e.policy = p.policy;
-    e.active_warps = p.active_warps;
+    for (const AxisDesc &a : axisRegistry())
+        if (!a.model_axis)
+            e.context += a.token(a.get(p)) + "/";
     e.capacity = p.banks_mult * p.bank_size_mult;
     e.banks_mult = p.banks_mult;
     e.latency = rc.latency;
@@ -390,24 +391,16 @@ nsgaOrder(const std::vector<Objectives> &objs)
     return order;
 }
 
-/** Axis-wise uniform crossover; auto-network spaces re-pair the
- *  child's network with its bank count. */
+/** Registry-wise uniform crossover; auto axes (network pairing,
+ *  derived interval length) are re-derived on the child. */
 DesignPoint
 crossover(const DesignPoint &a, const DesignPoint &b, Rng &rng,
           const DesignSpace &space)
 {
     DesignPoint c;
-    c.tech = rng.nextBool(0.5) ? a.tech : b.tech;
-    c.banks_mult = rng.nextBool(0.5) ? a.banks_mult : b.banks_mult;
-    c.bank_size_mult =
-            rng.nextBool(0.5) ? a.bank_size_mult : b.bank_size_mult;
-    c.network = rng.nextBool(0.5) ? a.network : b.network;
-    c.cache_kb = rng.nextBool(0.5) ? a.cache_kb : b.cache_kb;
-    c.policy = rng.nextBool(0.5) ? a.policy : b.policy;
-    c.active_warps =
-            rng.nextBool(0.5) ? a.active_warps : b.active_warps;
-    if (space.networks.empty())
-        c.network = defaultNetwork(c.banks_mult);
+    for (const AxisDesc &axis : axisRegistry())
+        axis.set(c, rng.nextBool(0.5) ? axis.get(a) : axis.get(b));
+    space.finalize(c);
     return c;
 }
 
@@ -417,13 +410,16 @@ pointToJson(const PointResult &pr)
     const DesignPoint &p = pr.point;
     Json j = Json::object();
     j.set("key", p.key());
-    j.set("tech", cellTechName(p.tech));
-    j.set("banks_mult", p.banks_mult);
-    j.set("bank_size_mult", p.bank_size_mult);
-    j.set("network", pr.model.network);
-    j.set("cache_kb", p.cache_kb);
-    j.set("policy", prefetchPolicyName(p.policy));
-    j.set("active_warps", p.active_warps);
+    // The explicit axis map: one entry per registry axis, numeric
+    // axes as numbers, token axes as their parseable CLI tokens.
+    Json axes = Json::object();
+    for (const AxisDesc &a : axisRegistry()) {
+        if (a.numeric)
+            axes.set(a.name, a.get(p));
+        else
+            axes.set(a.name, a.token(a.get(p)));
+    }
+    j.set("axes", std::move(axes));
     j.set("rf_config", pr.model.id);
     j.set("capacity", pr.model.capacity);
     j.set("area", pr.model.area);
@@ -502,6 +498,13 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
             ltrf_fatal("--generations must be >= 0 (got %d)",
                        opt.generations);
     }
+    if (!(opt.promote_frac > 0.0 && opt.promote_frac < 1.0))
+        ltrf_fatal("--promote-frac must be in (0, 1) (got %g)",
+                   opt.promote_frac);
+    if (opt.shard_count < 1 || opt.shard_index < 0 ||
+        opt.shard_index >= opt.shard_count)
+        ltrf_fatal("--shard %d/%d out of range (need 0 <= index < "
+                   "count)", opt.shard_index, opt.shard_count);
 
     std::vector<std::string> names = opt.workloads;
     if (names.empty())
@@ -585,6 +588,9 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
         res.population = opt.population;
     }
     res.screen_workloads = screen_names;
+    res.promote_frac = opt.promote_frac;
+    res.shard_index = opt.shard_index;
+    res.shard_count = opt.shard_count;
     res.hv_ref = opt.hv_ref;
 
     std::vector<std::size_t> all_sel;
@@ -595,13 +601,34 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
     ParetoFrontier frontier;
     std::vector<PruneEntry> prune_entries;
 
+    // The sampled stripe of the enumeration order: all of it for an
+    // unsharded run, the shard_index-th of shard_count balanced
+    // index ranges otherwise.
+    const std::uint64_t full_size = space.size();
+    const std::uint64_t stripe_base = full_size /
+            static_cast<std::uint64_t>(opt.shard_count);
+    const std::uint64_t stripe_rem = full_size %
+            static_cast<std::uint64_t>(opt.shard_count);
+    const std::uint64_t shard_i =
+            static_cast<std::uint64_t>(opt.shard_index);
+    const std::uint64_t stripe_lo =
+            stripe_base * shard_i + std::min(shard_i, stripe_rem);
+    const std::uint64_t stripe_size =
+            stripe_base + (shard_i < stripe_rem ? 1 : 0);
+
     // Keys ever admitted (evaluated, pruned, screened, or resumed):
-    // no strategy offers the same point twice. in_space_seen counts
-    // only keys inside the current space — resumed points from a
-    // wider space must not make sampling think this space is
-    // exhausted.
+    // no strategy offers the same point twice. in_stripe_seen counts
+    // only keys inside this run's stripe of the current space —
+    // resumed points from a wider space (or another shard) must not
+    // make sampling think the stripe is exhausted.
     std::set<std::string> seen;
-    std::uint64_t in_space_seen = 0;
+    std::uint64_t in_stripe_seen = 0;
+    auto inStripe = [&](const DesignPoint &p) {
+        if (!space.contains(p))
+            return false;
+        const std::uint64_t idx = space.indexOf(p);
+        return idx >= stripe_lo && idx < stripe_lo + stripe_size;
+    };
 
     // Distinct candidates admitted so far (evaluated + pruned +
     // screened); the budget caps this count. Resumed points are
@@ -673,8 +700,8 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
     for (const SeedPoint &sp : opt.resume.points) {
         if (!seen.insert(sp.point.key()).second)
             continue;
-        if (space.contains(sp.point))
-            in_space_seen++;
+        if (inStripe(sp.point))
+            in_stripe_seen++;
         PointResult pr;
         pr.point = sp.point;
         pr.model = makeRfConfig(sp.point.modelPoint());
@@ -688,7 +715,6 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
         res.resumed++;
     }
 
-    const std::uint64_t space_size = space.size();
     auto budgetLeft = [&]() {
         return opt.budget == 0
                        ? std::numeric_limits<std::uint64_t>::max()
@@ -697,16 +723,18 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
                                  : 0;
     };
 
-    /** Up to @p want distinct unseen samples from @p rng. */
+    /** Up to @p want distinct unseen samples (from this run's
+     *  stripe) from @p rng. */
     auto sampleDistinct = [&](Rng &rng, std::uint64_t want) {
         std::vector<DesignPoint> out;
         std::uint64_t attempts = 0;
         const std::uint64_t max_attempts = want * 64 + 1024;
-        while (out.size() < want && in_space_seen < space_size &&
+        while (out.size() < want && in_stripe_seen < stripe_size &&
                attempts++ < max_attempts) {
-            DesignPoint p = space.sample(rng);
+            DesignPoint p = space.pointAt(
+                    stripe_lo + rng.nextBounded(stripe_size));
             if (seen.insert(p.key()).second) {
-                in_space_seen++;
+                in_stripe_seen++;
                 out.push_back(p);
             }
         }
@@ -715,15 +743,15 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
 
     switch (opt.strategy) {
       case Strategy::GRID: {
-          // Enumeration order, skipping resumed points, up to the
-          // budget.
+          // Stripe enumeration order, skipping resumed points, up
+          // to the budget.
           std::vector<DesignPoint> cands;
-          for (std::uint64_t i = 0; i < space_size; i++) {
+          for (std::uint64_t i = 0; i < stripe_size; i++) {
               if (opt.budget && cands.size() >= opt.budget)
                   break;
-              DesignPoint p = space.pointAt(i);
+              DesignPoint p = space.pointAt(stripe_lo + i);
               if (seen.insert(p.key()).second) {
-                  in_space_seen++;
+                  in_stripe_seen++;
                   cands.push_back(p);
               }
           }
@@ -739,10 +767,12 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
       }
       case Strategy::HILL_CLIMB: {
           std::set<std::string> expanded;
-          DesignPoint start = space.pointAt(0);
-          if (seen.insert(start.key()).second) {
-              in_space_seen++;
-              processBatch({start});
+          if (stripe_size > 0) {
+              DesignPoint start = space.pointAt(stripe_lo);
+              if (seen.insert(start.key()).second) {
+                  in_stripe_seen++;
+                  processBatch({start});
+              }
           }
           while (considered < opt.budget) {
               // First in-space frontier member (best IPC) not yet
@@ -771,7 +801,11 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
                       if (considered + cands.size() >= opt.budget)
                           break;
                       if (seen.insert(n.key()).second) {
-                          in_space_seen++;
+                          // Expansion follows the frontier and may
+                          // leave a shard's stripe; only in-stripe
+                          // keys count toward sampling exhaustion.
+                          if (inStripe(n))
+                              in_stripe_seen++;
                           cands.push_back(n);
                       }
                   }
@@ -881,7 +915,8 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
                           child = nb[rng.nextBounded(nb.size())];
                   }
                   if (seen.insert(child.key()).second) {
-                      in_space_seen++;
+                      if (inStripe(child))
+                          in_stripe_seen++;
                       offspring.push_back(child);
                   }
               }
@@ -926,10 +961,10 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
               res.screened += pool.size();
 
               // Screen the pool on the workload subset, rank it,
-              // and promote the top half to the full suite. The
-              // screened (config, workload) cells stay in the sim
-              // cache, so promotion only simulates the remaining
-              // workloads.
+              // and promote the top promote_frac (at least one
+              // point) to the full suite. The screened (config,
+              // workload) cells stay in the sim cache, so promotion
+              // only simulates the remaining workloads.
               const std::vector<PointResult> screened =
                       ev.evaluate(pool, screen_sel);
               std::vector<Objectives> objs;
@@ -937,7 +972,13 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
               for (const PointResult &pr : screened)
                   objs.push_back(pr.obj);
               const std::vector<std::size_t> order = nsgaOrder(objs);
-              const std::size_t promote = (pool.size() + 1) / 2;
+              const std::size_t promote = std::min(
+                      pool.size(),
+                      std::max<std::size_t>(
+                              1, static_cast<std::size_t>(std::ceil(
+                                         static_cast<double>(
+                                                 pool.size()) *
+                                         opt.promote_frac))));
               std::vector<DesignPoint> promoted;
               for (std::size_t k = 0; k < promote; k++)
                   promoted.push_back(pool[order[k]]);
@@ -964,7 +1005,7 @@ Json
 DseResult::toJson() const
 {
     Json root = Json::object();
-    root.set("schema", "ltrf.dse.v2");
+    root.set("schema", "ltrf.dse.v3");
     root.set("strategy", strategyName(strategy));
     root.set("budget", budget);
     // As a string, like ResultSet seeds: doubles round above 2^53.
@@ -972,6 +1013,8 @@ DseResult::toJson() const
     root.set("num_sms", num_sms);
     root.set("prune", prune);
     root.set("space_size", space_size);
+    root.set("shard_index", shard_index);
+    root.set("shard_count", shard_count);
     root.set("generations", generations);
     root.set("population", population);
     if (!screen_workloads.empty()) {
@@ -979,6 +1022,7 @@ DseResult::toJson() const
         for (const std::string &w : screen_workloads)
             sw.push(w);
         root.set("screen_workloads", std::move(sw));
+        root.set("promote_frac", promote_frac);
     }
     Json ref = Json::object();
     ref.set("ipc", hv_ref.ipc);
@@ -1028,15 +1072,29 @@ DseResult::toJson() const
 std::string
 DseResult::toCsv() const
 {
-    // Header and rows walk pointToJson()'s keys, so the column set
-    // cannot drift from the JSON schema.
+    // Header and rows walk pointToJson()'s keys (the nested axis
+    // map flattens to one column per registry axis), so the column
+    // set cannot drift from the JSON schema.
+    auto cell = [](const Json &v) {
+        return v.type() == Json::Type::STRING ? v.asString()
+                                              : v.dump();
+    };
     std::string out;
     for (std::size_t i = 0; i < evaluated.size(); i++) {
         const Json j = pointToJson(evaluated[i]);
         if (i == 0) {
             bool first = true;
             for (const auto &[key, v] : j.items()) {
-                (void)v;
+                if (v.type() == Json::Type::OBJECT) {
+                    for (const auto &[name, av] : v.items()) {
+                        (void)av;
+                        if (!first)
+                            out += ',';
+                        first = false;
+                        out += name;
+                    }
+                    continue;
+                }
                 if (!first)
                     out += ',';
                 first = false;
@@ -1047,11 +1105,20 @@ DseResult::toCsv() const
         bool first = true;
         for (const auto &[key, v] : j.items()) {
             (void)key;
+            if (v.type() == Json::Type::OBJECT) {
+                for (const auto &[name, av] : v.items()) {
+                    (void)name;
+                    if (!first)
+                        out += ',';
+                    first = false;
+                    out += cell(av);
+                }
+                continue;
+            }
             if (!first)
                 out += ',';
             first = false;
-            out += v.type() == Json::Type::STRING ? v.asString()
-                                                  : v.dump();
+            out += cell(v);
         }
         out += '\n';
     }

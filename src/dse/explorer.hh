@@ -107,6 +107,20 @@ struct ExploreOptions
      *  0/1 force. */
     int prune = -1;
 
+    /**
+     * Space partitioning for sharded exploration: restrict grid
+     * enumeration and every sampling draw (random, hill restarts,
+     * evolve init, halving pools) to the shard_index-th of
+     * shard_count balanced index-range stripes of the enumeration
+     * order. Neighbor expansion and offspring may still step
+     * outside the stripe (they follow the frontier, not the
+     * partition). Shard reports merge via resume: run the next
+     * shard with --resume on the previous shard's report and the
+     * already-evaluated points are skipped as seen.
+     */
+    int shard_index = 0;
+    int shard_count = 1;
+
     // ----- Generational strategies (EVOLVE, HALVING) -----
 
     /** Generations after the initial population (EVOLVE) or
@@ -125,6 +139,11 @@ struct ExploreOptions
      */
     std::vector<std::string> screen_workloads;
     int screen_count = 2;
+
+    /** HALVING's promotion fraction: ceil(pool * promote_frac)
+     *  screened candidates (at least one) advance to the full
+     *  suite. Must lie in (0, 1); 0.5 is the classic top half. */
+    double promote_frac = 0.5;
 
     /** Hypervolume reference point (see defaultHvRef()). */
     Objectives hv_ref = defaultHvRef();
@@ -169,6 +188,9 @@ struct DseResult
     int generations = 0;
     int population = 0;
     std::vector<std::string> screen_workloads;    ///< HALVING only
+    double promote_frac = 0.5;                    ///< HALVING only
+    int shard_index = 0;
+    int shard_count = 1;
     Objectives hv_ref;
 
     /** Evaluated points, in evaluation order (resumed seed first). */
@@ -198,7 +220,8 @@ struct DseResult
     std::uint64_t resumed = 0;      ///< points seeded from --resume
     std::uint64_t restarts = 0;     ///< HILL_CLIMB seeded restarts
 
-    /** Deterministic report (schema ltrf.dse.v2). */
+    /** Deterministic report (schema ltrf.dse.v3: per-point axis
+     *  maps keyed by the axis registry, shard echo). */
     harness::Json toJson() const;
     /** One row per evaluated point, frontier flag included, then a
      *  per-generation hypervolume table. */

@@ -15,10 +15,13 @@ namespace
 {
 
 /**
- * Rebuild a DesignPoint from its stable key
- * ("tech/bN/zN/net/cN/policy/wN"). The key is the report's identity
- * field and is made of the CLI tokens, unlike the human-readable
- * tech/network display columns.
+ * Rebuild a DesignPoint from its stable key by walking the axis
+ * registry ("tech/bN/zN/net/cN/policy/wN/iN/oN/dN"). Legacy keys
+ * from v1/v2 reports carry only the first NUM_LEGACY_AXES segments;
+ * the missing axes take their auto derivation (interval = the
+ * per-warp cache partition, exactly what those reports simulated)
+ * or the DesignPoint default, so a saved 7-axis report resumes
+ * cleanly into the widened space.
  */
 DesignPoint
 parsePoint(const std::string &key)
@@ -34,52 +37,30 @@ parsePoint(const std::string &key)
         }
     }
     parts.push_back(cur);
-    if (parts.size() != 7)
+    if (parts.size() != NUM_AXES &&
+        parts.size() != NUM_LEGACY_AXES)
         ltrf_fatal("malformed design point key \"%s\"", key.c_str());
 
-    auto number = [&](const std::string &s, char prefix) {
-        if (s.size() < 2 || s[0] != prefix)
-            ltrf_fatal("malformed axis \"%s\" in key \"%s\"",
-                       s.c_str(), key.c_str());
-        char *end = nullptr;
-        const long n = std::strtol(s.c_str() + 1, &end, 10);
-        if (end != s.c_str() + s.size())
-            ltrf_fatal("malformed axis \"%s\" in key \"%s\"",
-                       s.c_str(), key.c_str());
-        return static_cast<int>(n);
-    };
-
     DesignPoint p;
-    if (!parseCellTech(parts[0], p.tech))
-        ltrf_fatal("unknown tech \"%s\" in key \"%s\"",
-                   parts[0].c_str(), key.c_str());
-    p.banks_mult = number(parts[1], 'b');
-    p.bank_size_mult = number(parts[2], 'z');
-    if (!parseNetwork(parts[3], p.network))
-        ltrf_fatal("unknown network \"%s\" in key \"%s\"",
-                   parts[3].c_str(), key.c_str());
-    p.cache_kb = number(parts[4], 'c');
-    if (!parsePolicy(parts[5], p.policy))
-        ltrf_fatal("unknown policy \"%s\" in key \"%s\"",
-                   parts[5].c_str(), key.c_str());
-    p.active_warps = number(parts[6], 'w');
-
-    // Resumed points flow straight into the RF model, whose range
-    // checks are asserts (internal errors) — a hand-edited report
-    // is a user error and must die with a clean fatal() instead.
-    auto pow2 = [](int v) { return v >= 1 && (v & (v - 1)) == 0; };
-    if (!pow2(p.banks_mult) || p.banks_mult > 64)
-        ltrf_fatal("banks multiplier in key \"%s\" must be a power "
-                   "of two in [1, 64]", key.c_str());
-    if (!pow2(p.bank_size_mult) || p.bank_size_mult > 64)
-        ltrf_fatal("bank-size multiplier in key \"%s\" must be a "
-                   "power of two in [1, 64]", key.c_str());
-    if (p.cache_kb < 1)
-        ltrf_fatal("cache size in key \"%s\" must be >= 1KB",
-                   key.c_str());
-    if (p.active_warps < 1)
-        ltrf_fatal("active warp count in key \"%s\" must be >= 1",
-                   key.c_str());
+    const auto &registry = axisRegistry();
+    for (std::size_t i = 0; i < registry.size(); i++) {
+        const AxisDesc &a = registry[i];
+        if (i >= parts.size()) {
+            if (a.derive)
+                a.set(p, a.derive(p));
+            continue;    // otherwise: the DesignPoint default
+        }
+        int v = 0;
+        if (!a.parse(parts[i], v))
+            ltrf_fatal("malformed %s axis \"%s\" in key \"%s\"",
+                       a.name, parts[i].c_str(), key.c_str());
+        // Resumed points flow straight into the RF model, whose
+        // range checks are asserts (internal errors) — a
+        // hand-edited report is a user error and must die with a
+        // clean fatal() instead.
+        a.check(v);
+        a.set(p, v);
+    }
     return p;
 }
 
@@ -89,9 +70,10 @@ FrontierSeed
 parseDseReport(const Json &root)
 {
     const std::string schema = root.stringOr("schema", "(missing)");
-    if (schema != "ltrf.dse.v1" && schema != "ltrf.dse.v2")
+    if (schema != "ltrf.dse.v1" && schema != "ltrf.dse.v2" &&
+        schema != "ltrf.dse.v3")
         ltrf_fatal("not an ltrf_dse report: schema \"%s\" (expected "
-                   "ltrf.dse.v1 or ltrf.dse.v2)",
+                   "ltrf.dse.v1, v2, or v3)",
                    schema.c_str());
 
     FrontierSeed seed;

@@ -57,7 +57,8 @@ struct FrontierSeed
 /**
  * Parse a DseResult::toJson() report. fatal() on an unrecognized
  * schema or malformed point entries; accepts schema ltrf.dse.v1
- * (pre-resume reports) and v2.
+ * (pre-resume reports), v2 (seven-axis keys; the widened-space
+ * axes take their auto/default values), and v3.
  */
 FrontierSeed parseDseReport(const harness::Json &root);
 

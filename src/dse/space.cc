@@ -1,6 +1,7 @@
 #include "dse/space.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/log.hh"
 #include "common/strutil.hh"
@@ -14,14 +15,58 @@ namespace
 {
 
 /** Index of @p v in @p axis, or -1. */
-template <typename T>
 int
-axisIndex(const std::vector<T> &axis, const T &v)
+axisIndex(const std::vector<int> &axis, int v)
 {
     for (std::size_t i = 0; i < axis.size(); i++)
         if (axis[i] == v)
             return static_cast<int>(i);
     return -1;
+}
+
+/** "b8"-style integer token with a one-letter prefix. */
+std::string
+intToken(char prefix, int v)
+{
+    std::string s(1, prefix);
+    s += std::to_string(v);
+    return s;
+}
+
+bool
+parseIntToken(char prefix, const std::string &tok, int &v)
+{
+    if (tok.size() < 2 || tok[0] != prefix)
+        return false;
+    char *end = nullptr;
+    const long n = std::strtol(tok.c_str() + 1, &end, 10);
+    if (end != tok.c_str() + tok.size())
+        return false;
+    v = static_cast<int>(n);
+    return true;
+}
+
+bool
+isPow2(int v)
+{
+    return v >= 1 && (v & (v - 1)) == 0;
+}
+
+std::vector<int>
+asInts(const std::vector<int> &v)
+{
+    return v;
+}
+
+template <typename E>
+std::vector<int>
+asInts(const std::vector<E> &v)
+{
+    std::vector<int> out;
+    out.reserve(v.size());
+    for (E e : v)
+        out.push_back(static_cast<int>(e));
+    return out;
 }
 
 } // namespace
@@ -115,6 +160,207 @@ parsePolicy(const std::string &name, PrefetchPolicy &out)
     return false;
 }
 
+const std::array<AxisDesc, NUM_AXES> &
+axisRegistry()
+{
+    static const std::array<AxisDesc, NUM_AXES> registry = {{
+        // AXIS_TECH
+        {"tech", "--techs", /*model=*/true, /*numeric=*/false,
+         [](int v) {
+             return std::string(
+                     cellTechToken(static_cast<CellTech>(v)));
+         },
+         [](const std::string &t, int &v) {
+             CellTech c;
+             if (!parseCellTech(t, c))
+                 return false;
+             v = static_cast<int>(c);
+             return true;
+         },
+         [](const DesignPoint &p) { return static_cast<int>(p.tech); },
+         [](DesignPoint &p, int v) {
+             p.tech = static_cast<CellTech>(v);
+         },
+         [](const DesignSpace &s) { return asInts(s.techs); },
+         nullptr, [](int) {}, nullptr},
+        // AXIS_BANKS
+        {"banks", "--banks", /*model=*/true, /*numeric=*/true,
+         [](int v) { return intToken('b', v); },
+         [](const std::string &t, int &v) {
+             return parseIntToken('b', t, v);
+         },
+         [](const DesignPoint &p) { return p.banks_mult; },
+         [](DesignPoint &p, int v) { p.banks_mult = v; },
+         [](const DesignSpace &s) { return asInts(s.banks); },
+         nullptr,
+         [](int v) {
+             if (!isPow2(v) || v > 64)
+                 ltrf_fatal("banks multiplier %d must be a power of "
+                            "two in [1, 64]", v);
+         },
+         nullptr},
+        // AXIS_BANK_SIZE
+        {"bank_size", "--bank-sizes", /*model=*/true, /*numeric=*/true,
+         [](int v) { return intToken('z', v); },
+         [](const std::string &t, int &v) {
+             return parseIntToken('z', t, v);
+         },
+         [](const DesignPoint &p) { return p.bank_size_mult; },
+         [](DesignPoint &p, int v) { p.bank_size_mult = v; },
+         [](const DesignSpace &s) { return asInts(s.bank_sizes); },
+         nullptr,
+         [](int v) {
+             if (!isPow2(v) || v > 64)
+                 ltrf_fatal("bank-size multiplier %d must be a power "
+                            "of two in [1, 64]", v);
+         },
+         nullptr},
+        // AXIS_NETWORK
+        {"network", "--networks", /*model=*/true, /*numeric=*/false,
+         [](int v) {
+             return std::string(
+                     networkToken(static_cast<NetworkKind>(v)));
+         },
+         [](const std::string &t, int &v) {
+             NetworkKind n;
+             if (!parseNetwork(t, n))
+                 return false;
+             v = static_cast<int>(n);
+             return true;
+         },
+         [](const DesignPoint &p) {
+             return static_cast<int>(p.network);
+         },
+         [](DesignPoint &p, int v) {
+             p.network = static_cast<NetworkKind>(v);
+         },
+         [](const DesignSpace &s) { return asInts(s.networks); },
+         [](const DesignPoint &p) {
+             return static_cast<int>(defaultNetwork(p.banks_mult));
+         },
+         [](int) {}, nullptr},
+        // AXIS_CACHE_KB
+        {"cache_kb", "--cache-kb", /*model=*/false, /*numeric=*/true,
+         [](int v) { return intToken('c', v); },
+         [](const std::string &t, int &v) {
+             return parseIntToken('c', t, v);
+         },
+         [](const DesignPoint &p) { return p.cache_kb; },
+         [](DesignPoint &p, int v) { p.cache_kb = v; },
+         [](const DesignSpace &s) { return asInts(s.cache_kbs); },
+         nullptr,
+         [](int v) {
+             if (v < 1)
+                 ltrf_fatal("register cache size %dKB out of range",
+                            v);
+         },
+         [](SimConfig &cfg, int v) {
+             cfg.rf_cache_bytes =
+                     static_cast<std::size_t>(v) * 1024;
+         }},
+        // AXIS_POLICY
+        {"policy", "--policies", /*model=*/false, /*numeric=*/false,
+         [](int v) {
+             return std::string(prefetchPolicyName(
+                     static_cast<PrefetchPolicy>(v)));
+         },
+         [](const std::string &t, int &v) {
+             PrefetchPolicy p;
+             if (!parsePolicy(t, p))
+                 return false;
+             v = static_cast<int>(p);
+             return true;
+         },
+         [](const DesignPoint &p) { return static_cast<int>(p.policy); },
+         [](DesignPoint &p, int v) {
+             p.policy = static_cast<PrefetchPolicy>(v);
+         },
+         [](const DesignSpace &s) { return asInts(s.policies); },
+         nullptr, [](int) {},
+         [](SimConfig &cfg, int v) {
+             cfg.design =
+                     policyDesign(static_cast<PrefetchPolicy>(v));
+         }},
+        // AXIS_WARPS
+        {"warps", "--warps", /*model=*/false, /*numeric=*/true,
+         [](int v) { return intToken('w', v); },
+         [](const std::string &t, int &v) {
+             return parseIntToken('w', t, v);
+         },
+         [](const DesignPoint &p) { return p.active_warps; },
+         [](DesignPoint &p, int v) { p.active_warps = v; },
+         [](const DesignSpace &s) { return asInts(s.warps); },
+         nullptr,
+         [](int v) {
+             const SimConfig def;
+             if (v < 1 || v > def.max_warps_per_sm)
+                 ltrf_fatal("active warp count %d out of range "
+                            "[1, %d]", v, def.max_warps_per_sm);
+         },
+         [](SimConfig &cfg, int v) { cfg.num_active_warps = v; }},
+        // AXIS_INTERVAL
+        {"interval", "--intervals", /*model=*/false, /*numeric=*/true,
+         [](int v) { return intToken('i', v); },
+         [](const std::string &t, int &v) {
+             return parseIntToken('i', t, v);
+         },
+         [](const DesignPoint &p) { return p.regs_per_interval; },
+         [](DesignPoint &p, int v) { p.regs_per_interval = v; },
+         [](const DesignSpace &s) { return asInts(s.intervals); },
+         // Auto: the per-warp cache partition (Figures 12/13).
+         [](const DesignPoint &p) {
+             return p.cache_kb * 1024 / BYTES_PER_WARP_REG /
+                    p.active_warps;
+         },
+         [](int v) {
+             // Interval formation needs room for one 4-operand
+             // instruction (register_interval.cc).
+             if (v < 4 || v > MAX_ARCH_REGS)
+                 ltrf_fatal("registers per interval %d out of range "
+                            "[4, %d]", v, MAX_ARCH_REGS);
+         },
+         [](SimConfig &cfg, int v) { cfg.regs_per_interval = v; }},
+        // AXIS_COLLECTORS
+        {"collectors", "--collectors", /*model=*/false,
+         /*numeric=*/true,
+         [](int v) { return intToken('o', v); },
+         [](const std::string &t, int &v) {
+             return parseIntToken('o', t, v);
+         },
+         [](const DesignPoint &p) { return p.num_operand_collectors; },
+         [](DesignPoint &p, int v) { p.num_operand_collectors = v; },
+         [](const DesignSpace &s) { return asInts(s.collectors); },
+         nullptr,
+         [](int v) {
+             const SimConfig def;
+             if (v < def.issue_width || v > 64)
+                 ltrf_fatal("operand collector count %d out of range "
+                            "[%d, 64]", v, def.issue_width);
+         },
+         [](SimConfig &cfg, int v) {
+             cfg.num_operand_collectors = v;
+         }},
+        // AXIS_DRAM
+        {"dram_service", "--dram-service", /*model=*/false,
+         /*numeric=*/true,
+         [](int v) { return intToken('d', v); },
+         [](const std::string &t, int &v) {
+             return parseIntToken('d', t, v);
+         },
+         [](const DesignPoint &p) { return p.dram_service_cycles; },
+         [](DesignPoint &p, int v) { p.dram_service_cycles = v; },
+         [](const DesignSpace &s) { return asInts(s.dram_service); },
+         nullptr,
+         [](int v) {
+             if (v < 1 || v > 64)
+                 ltrf_fatal("DRAM service-cycle scale %d out of "
+                            "range [1, 64]", v);
+         },
+         [](SimConfig &cfg, int v) { cfg.dram_service_cycles = v; }},
+    }};
+    return registry;
+}
+
 RfModelPoint
 DesignPoint::modelPoint() const
 {
@@ -129,15 +375,12 @@ DesignPoint::modelPoint() const
 std::string
 DesignPoint::key() const
 {
-    std::string k = cellTechToken(tech);
-    k += "/b" + std::to_string(banks_mult);
-    k += "/z" + std::to_string(bank_size_mult);
-    k += "/";
-    k += networkToken(network);
-    k += "/c" + std::to_string(cache_kb);
-    k += "/";
-    k += prefetchPolicyName(policy);
-    k += "/w" + std::to_string(active_warps);
+    std::string k;
+    for (const AxisDesc &a : axisRegistry()) {
+        if (!k.empty())
+            k += '/';
+        k += a.token(a.get(*this));
+    }
     return k;
 }
 
@@ -146,14 +389,10 @@ configFor(const DesignPoint &p, int num_sms)
 {
     SimConfig cfg;
     cfg.num_sms = num_sms;
-    cfg.design = policyDesign(p.policy);
     applyRfModel(cfg, p.modelPoint());
-    cfg.rf_cache_bytes =
-            static_cast<std::size_t>(p.cache_kb) * 1024;
-    cfg.num_active_warps = p.active_warps;
-    // Match the interval budget to the per-warp cache partition, as
-    // the paper's cache-size sweeps do (Figures 12/13).
-    cfg.regs_per_interval = cfg.cacheRegsPerWarp();
+    for (const AxisDesc &a : axisRegistry())
+        if (a.apply)
+            a.apply(cfg, a.get(p));
     cfg.validate();
     return cfg;
 }
@@ -168,6 +407,11 @@ simKey(const SimConfig &cfg)
     k += "|cache" + std::to_string(cfg.rf_cache_bytes);
     k += "|aw" + std::to_string(cfg.num_active_warps);
     k += "|ivl" + std::to_string(cfg.regs_per_interval);
+    k += "|oc" + std::to_string(cfg.num_operand_collectors);
+    // The effective (SM-rescaled) value: knob settings that
+    // quantize to the same bus occupancy simulate identically and
+    // must share one simulation, like coinciding network latencies.
+    k += "|dsc" + std::to_string(cfg.effectiveDramServiceCycles());
     return k;
 }
 
@@ -183,16 +427,29 @@ DesignSpace::defaults()
     s.cache_kbs = {8, 16, 32};
     s.policies = {PrefetchPolicy::INTERVAL};
     s.warps = {4, 8, 16};
+    s.intervals = {};    // auto: the per-warp cache partition
+    s.collectors = {8};
+    s.dram_service = {1};
     return s;
 }
 
 std::uint64_t
 DesignSpace::size() const
 {
-    const std::uint64_t nets = networks.empty() ? 1 : networks.size();
-    return static_cast<std::uint64_t>(techs.size()) * banks.size() *
-           bank_sizes.size() * nets * cache_kbs.size() *
-           policies.size() * warps.size();
+    std::uint64_t n = 1;
+    for (const AxisDesc &a : axisRegistry()) {
+        const std::vector<int> vals = a.values(*this);
+        n *= vals.empty() ? 1 : vals.size();
+    }
+    return n;
+}
+
+void
+DesignSpace::finalize(DesignPoint &p) const
+{
+    for (const AxisDesc &a : axisRegistry())
+        if (a.derive && a.values(*this).empty())
+            a.set(p, a.derive(p));
 }
 
 DesignPoint
@@ -201,27 +458,35 @@ DesignSpace::pointAt(std::uint64_t index) const
     ltrf_assert(index < size(), "design point index %llu out of range",
                 static_cast<unsigned long long>(index));
     DesignPoint p;
-    // Mixed-radix decode, warps fastest.
-    p.active_warps = warps[index % warps.size()];
-    index /= warps.size();
-    p.policy = policies[index % policies.size()];
-    index /= policies.size();
-    p.cache_kb = cache_kbs[index % cache_kbs.size()];
-    index /= cache_kbs.size();
-    if (networks.empty()) {
-        // network decided by the bank count below
-    } else {
-        p.network = networks[index % networks.size()];
-        index /= networks.size();
+    // Mixed-radix decode in reverse registry order: the last
+    // registry axis is the fastest; auto axes are derived below.
+    const auto &registry = axisRegistry();
+    for (std::size_t k = registry.size(); k-- > 0;) {
+        const AxisDesc &a = registry[k];
+        const std::vector<int> vals = a.values(*this);
+        if (vals.empty())
+            continue;
+        a.set(p, vals[index % vals.size()]);
+        index /= vals.size();
     }
-    p.bank_size_mult = bank_sizes[index % bank_sizes.size()];
-    index /= bank_sizes.size();
-    p.banks_mult = banks[index % banks.size()];
-    index /= banks.size();
-    p.tech = techs[index % techs.size()];
-    if (networks.empty())
-        p.network = defaultNetwork(p.banks_mult);
+    finalize(p);
     return p;
+}
+
+std::uint64_t
+DesignSpace::indexOf(const DesignPoint &p) const
+{
+    std::uint64_t index = 0;
+    for (const AxisDesc &a : axisRegistry()) {
+        const std::vector<int> vals = a.values(*this);
+        if (vals.empty())
+            continue;
+        const int i = axisIndex(vals, a.get(p));
+        ltrf_assert(i >= 0, "indexOf() of a point outside the space "
+                    "(%s axis)", a.name);
+        index = index * vals.size() + static_cast<std::uint64_t>(i);
+    }
+    return index;
 }
 
 std::vector<DesignPoint>
@@ -246,71 +511,64 @@ std::vector<DesignPoint>
 DesignSpace::neighbors(const DesignPoint &p) const
 {
     std::vector<DesignPoint> out;
-    auto step = [&](auto &axis, auto DesignPoint::*field,
-                    bool renet = false) {
-        int i = axisIndex(axis, p.*field);
+    for (const AxisDesc &a : axisRegistry()) {
+        const std::vector<int> vals = a.values(*this);
+        if (vals.empty())
+            continue;
+        const int i = axisIndex(vals, a.get(p));
         if (i < 0)
-            return;
+            continue;
         for (int d : {-1, +1}) {
-            int j = i + d;
-            if (j < 0 || j >= static_cast<int>(axis.size()))
+            const int j = i + d;
+            if (j < 0 || j >= static_cast<int>(vals.size()))
                 continue;
             DesignPoint q = p;
-            q.*field = axis[static_cast<std::size_t>(j)];
-            if (renet && networks.empty())
-                q.network = defaultNetwork(q.banks_mult);
+            a.set(q, vals[static_cast<std::size_t>(j)]);
+            finalize(q);
             out.push_back(q);
         }
-    };
-    step(techs, &DesignPoint::tech);
-    step(banks, &DesignPoint::banks_mult, /*renet=*/true);
-    step(bank_sizes, &DesignPoint::bank_size_mult);
-    if (!networks.empty())
-        step(networks, &DesignPoint::network);
-    step(cache_kbs, &DesignPoint::cache_kb);
-    step(policies, &DesignPoint::policy);
-    step(warps, &DesignPoint::active_warps);
+    }
     return out;
 }
 
 bool
 DesignSpace::contains(const DesignPoint &p) const
 {
-    if (axisIndex(techs, p.tech) < 0 ||
-        axisIndex(banks, p.banks_mult) < 0 ||
-        axisIndex(bank_sizes, p.bank_size_mult) < 0 ||
-        axisIndex(cache_kbs, p.cache_kb) < 0 ||
-        axisIndex(policies, p.policy) < 0 ||
-        axisIndex(warps, p.active_warps) < 0)
-        return false;
-    if (networks.empty())
-        return p.network == defaultNetwork(p.banks_mult);
-    return axisIndex(networks, p.network) >= 0;
+    for (const AxisDesc &a : axisRegistry()) {
+        const std::vector<int> vals = a.values(*this);
+        if (vals.empty()) {
+            // A non-derivable axis with no allowed values contains
+            // nothing (validate() rejects such spaces as a user
+            // error, but contains() must stay total).
+            if (!a.derive || a.get(p) != a.derive(p))
+                return false;
+        } else if (axisIndex(vals, a.get(p)) < 0) {
+            return false;
+        }
+    }
+    return true;
 }
 
 void
 DesignSpace::validate() const
 {
-    if (techs.empty() || banks.empty() || bank_sizes.empty() ||
-        cache_kbs.empty() || policies.empty() || warps.empty())
-        ltrf_fatal("design space has an empty axis");
-    auto pow2 = [](int v) { return v >= 1 && (v & (v - 1)) == 0; };
-    for (int b : banks)
-        if (!pow2(b) || b > 64)
-            ltrf_fatal("banks multiplier %d must be a power of two "
-                       "in [1, 64]", b);
-    for (int z : bank_sizes)
-        if (!pow2(z) || z > 64)
-            ltrf_fatal("bank-size multiplier %d must be a power of "
-                       "two in [1, 64]", z);
-    SimConfig def;
-    for (int w : warps)
-        if (w < 1 || w > def.max_warps_per_sm)
-            ltrf_fatal("active warp count %d out of range [1, %d]", w,
-                       def.max_warps_per_sm);
+    for (const AxisDesc &a : axisRegistry()) {
+        const std::vector<int> vals = a.values(*this);
+        if (vals.empty()) {
+            if (!a.derive)
+                ltrf_fatal("design space has an empty %s axis",
+                           a.name);
+            continue;
+        }
+        for (int v : vals)
+            a.check(v);
+    }
+    // Cross-axis constraints the per-value checks cannot see: the
+    // cache must partition evenly over the warps, and every explicit
+    // interval length must fit the smallest per-warp partition it
+    // can be paired with (grid enumeration walks the full cross
+    // product, so one bad pairing is a user error up front).
     for (int c : cache_kbs) {
-        if (c < 1)
-            ltrf_fatal("register cache size %dKB out of range", c);
         const int regs = c * 1024 / BYTES_PER_WARP_REG;
         for (int w : warps) {
             if (regs % w != 0)
@@ -321,6 +579,12 @@ DesignSpace::validate() const
                 ltrf_fatal("per-warp cache partition %d regs (cache "
                            "%dKB, %d warps) out of range", per_warp,
                            c, w);
+            for (int ivl : intervals)
+                if (ivl > per_warp)
+                    ltrf_fatal("interval length %d regs exceeds the "
+                               "per-warp cache partition %d (cache "
+                               "%dKB, %d warps)", ivl, per_warp, c,
+                               w);
         }
     }
 }

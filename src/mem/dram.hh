@@ -31,7 +31,12 @@ struct DramParams
     int num_banks = 16;
     int row_hit_latency = 80;       ///< CAS only
     int row_miss_latency = 200;     ///< precharge + activate + CAS
-    int service_cycles = 4;         ///< data-bus occupancy per 128B line
+    /**
+     * Data-bus occupancy per 128B line. Matches the default
+     * SimConfig::dram_service_cycles (MemSystem rescales that knob
+     * with the SM count before it lands here).
+     */
+    int service_cycles = 1;
     int lines_per_row = 16;         ///< 2KB row / 128B line
 };
 

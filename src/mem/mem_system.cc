@@ -26,8 +26,7 @@ MemSystem::MemSystem(const SimConfig &cfg) : config(cfg)
     // (GDDR5-class ~300GB/s at the Table 3 core clock), i.e.
     // dram_service_cycles=1 means one line per num_sms/48-cycle
     // share at the simulated SM count.
-    dp.service_cycles = std::max(
-            1, cfg.dram_service_cycles * 24 / (cfg.num_sms * 2));
+    dp.service_cycles = cfg.effectiveDramServiceCycles();
     dram_model = std::make_unique<Dram>(dp);
 }
 

@@ -131,8 +131,13 @@ TEST(DesignSpace, ConfigForFollowsFigureMethodology)
     EXPECT_DOUBLE_EQ(cfg.mrf_latency_mult, 5.3);
     EXPECT_EQ(cfg.rf_cache_bytes, 32u * 1024);
     EXPECT_EQ(cfg.num_active_warps, 16);
-    // Interval budget = per-warp cache partition (Figures 12/13).
+    // The point carries its interval budget; in auto-interval
+    // spaces finalize() pins it to the per-warp cache partition
+    // (Figures 12/13), and configFor honors whatever the point says
+    // — the axes are decoupled.
     EXPECT_EQ(cfg.regs_per_interval, cfg.cacheRegsPerWarp());
+    p.regs_per_interval = 8;
+    EXPECT_EQ(configFor(p, 2).regs_per_interval, 8);
 }
 
 TEST(DesignSpace, SimKeyCollapsesEquivalentConfigs)

@@ -263,6 +263,41 @@ TEST(HalvingStrategy, ScreenSubsetDefaultsAndValidation)
               (std::vector<std::string>{"bfs"}));
 }
 
+TEST(HalvingStrategy, PromoteFracSetsThePromotionCut)
+{
+    ExploreOptions opt = microOptions();
+    opt.strategy = Strategy::HALVING;
+    opt.population = 4;
+    opt.generations = 1;
+    opt.screen_workloads = {"bfs"};
+
+    // Default 0.5: the classic top half (2 of 4).
+    const DseResult half = explore(microSpace(), opt);
+    EXPECT_EQ(half.evaluated.size(), 2u);
+    EXPECT_EQ(half.promote_frac, 0.5);
+
+    // 0.25: ceil(1.0) = 1 survivor per round.
+    opt.promote_frac = 0.25;
+    const DseResult quarter = explore(microSpace(), opt);
+    EXPECT_EQ(quarter.evaluated.size(), 1u);
+
+    // 0.75: ceil(3.0) = 3 survivors.
+    opt.promote_frac = 0.75;
+    const DseResult three = explore(microSpace(), opt);
+    EXPECT_EQ(three.evaluated.size(), 3u);
+}
+
+TEST(HalvingStrategyDeathTest, RejectsPromoteFracOutsideUnitInterval)
+{
+    ExploreOptions opt = microOptions();
+    opt.strategy = Strategy::HALVING;
+    opt.population = 4;
+    opt.generations = 1;
+    opt.promote_frac = 1.0;
+    EXPECT_EXIT(explore(microSpace(), opt),
+                testing::ExitedWithCode(1), "promote-frac");
+}
+
 TEST(HalvingStrategyDeathTest, RejectsScreenWorkloadOutsideSuite)
 {
     ExploreOptions opt = microOptions();
@@ -306,16 +341,18 @@ TEST(HillClimbStrategy, RestartSequenceIsPinned)
 
     const DseResult res = explore(s, opt);
     EXPECT_EQ(res.restarts, 1u);
+    // Keys carry every registry axis; the interval segment is the
+    // derived per-warp cache partition (auto interval axis).
     const std::vector<std::string> expected = {
-            "hp/b1/z1/xbar/c8/interval/w4",
-            "hp/b1/z1/xbar/c16/interval/w4",
-            "hp/b1/z1/xbar/c8/interval/w8",
-            "hp/b1/z1/xbar/c16/interval/w8",
-            "hp/b1/z1/xbar/c8/interval/w16",
-            "hp/b1/z1/xbar/c16/interval/w16",
-            "hp/b1/z1/xbar/c32/interval/w16",
-            "hp/b1/z1/xbar/c32/interval/w8",
-            "hp/b1/z1/xbar/c32/interval/w4",
+            "hp/b1/z1/xbar/c8/interval/w4/i16/o8/d1",
+            "hp/b1/z1/xbar/c16/interval/w4/i32/o8/d1",
+            "hp/b1/z1/xbar/c8/interval/w8/i8/o8/d1",
+            "hp/b1/z1/xbar/c16/interval/w8/i16/o8/d1",
+            "hp/b1/z1/xbar/c8/interval/w16/i4/o8/d1",
+            "hp/b1/z1/xbar/c16/interval/w16/i8/o8/d1",
+            "hp/b1/z1/xbar/c32/interval/w16/i16/o8/d1",
+            "hp/b1/z1/xbar/c32/interval/w8/i32/o8/d1",
+            "hp/b1/z1/xbar/c32/interval/w4/i64/o8/d1",
     };
     EXPECT_EQ(evaluatedKeys(res), expected);
 }

@@ -214,6 +214,46 @@ TEST(FrontierIo, ResumedPointsAreNotReevaluated)
         EXPECT_TRUE(pr.resumed);
 }
 
+TEST(FrontierIo, LegacySevenAxisKeysResumeIntoTheWidenedSpace)
+{
+    // A pre-widening (schema v2) report carries 7-segment keys; the
+    // missing registry axes take their auto derivation (interval =
+    // the per-warp cache partition, exactly what v2 simulated) or
+    // the DesignPoint default.
+    const harness::Json root = harness::Json::parse(
+            "{\"schema\": \"ltrf.dse.v2\", "
+            "\"strategy\": \"grid\", "
+            "\"workloads\": [\"bfs\", \"btree\"], "
+            "\"num_sms\": 1, \"seed\": \"2018\", "
+            "\"points\": ["
+            "{\"key\": \"hp/b1/z1/xbar/c16/interval/w8\", "
+            "\"ipc\": 1.0, \"energy\": 0.8, \"total_area\": 1.0, "
+            "\"frontier\": true}, "
+            "{\"key\": \"tfet/b8/z1/fbfly/c16/interval/w8\", "
+            "\"ipc\": 1.1, \"energy\": 0.9, \"total_area\": 1.2, "
+            "\"frontier\": true}], "
+            "\"frontier\": [\"a\", \"b\"]}");
+    const FrontierSeed seed = parseDseReport(root);
+    ASSERT_EQ(seed.points.size(), 2u);
+    const DesignPoint &p = seed.points[0].point;
+    EXPECT_EQ(p.regs_per_interval, 16);    // 16KB / 8 warps
+    EXPECT_EQ(p.num_operand_collectors, 8);
+    EXPECT_EQ(p.dram_service_cycles, 1);
+    EXPECT_EQ(p.key(), "hp/b1/z1/xbar/c16/interval/w8/i16/o8/d1");
+
+    // And it replays cleanly into the widened 10-axis space.
+    ExploreOptions opt = microOptions();
+    opt.strategy = Strategy::EVOLVE;
+    opt.generations = 0;
+    opt.resume = seed;
+    const DseResult replay = explore(microSpace(), opt);
+    EXPECT_EQ(replay.sim_cells, 0u);
+    EXPECT_EQ(replay.resumed, 2u);
+    for (const PointResult &pr : replay.evaluated)
+        EXPECT_TRUE(microSpace().contains(pr.point))
+                << pr.point.key();
+}
+
 TEST(FrontierIoDeathTest, RejectsUnknownSchema)
 {
     harness::Json j = harness::Json::object();
