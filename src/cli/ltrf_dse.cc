@@ -83,9 +83,20 @@ Search:
                      halving's low-fidelity screening subset: a
                      count N (the first N active workloads) or a
                      comma list of workload names (default: 2)
-  --promote-frac F   halving's promotion fraction: ceil(F * pool)
-                     screened candidates (at least one) advance to
-                     the full suite; F in (0, 1) (default: 0.5)
+  --promote-frac F   halving's promotion fraction, applied at every
+                     rung: ceil(F * rung pool) candidates (at least
+                     one) advance to the next rung; F in (0, 1)
+                     (default: 0.5)
+  --rungs LIST       halving's rung schedule: per-rung workload
+                     counts (each rung evaluates the first N active
+                     workloads), strictly increasing, ending in
+                     "all" — e.g. "2,6,all" screens pools on 2
+                     workloads, promotes survivors to 6, then to
+                     the full suite (default: the two-rung schedule
+                     built from --screen-workloads). Excludes an
+                     explicit --screen-workloads name list.
+                     --screen-workloads, --promote-frac, and
+                     --rungs require --strategy halving.
   --resume PATH      seed the frontier (and evolve's initial
                      population) from a saved ltrf_dse JSON report;
                      saved points are not re-simulated
@@ -156,6 +167,17 @@ Options
 parseArgs(int argc, char **argv)
 {
     Options opt;
+
+    // Halving-only flags, remembered so a mismatch with the final
+    // --strategy (which may appear anywhere on the line) is a usage
+    // error instead of a silently ignored knob. --rungs and
+    // --screen-workloads are likewise remembered jointly: the rung
+    // schedule defines every screening subset, so combining them
+    // would silently drop one (the count form leaves no trace in
+    // ExploreOptions, so explore() cannot catch it).
+    const char *halving_flag_seen = nullptr;
+    bool saw_screen_workloads = false;
+    bool saw_rungs = false;
 
     auto value = [&](int &i) -> std::string {
         if (i + 1 >= argc)
@@ -268,6 +290,7 @@ parseArgs(int argc, char **argv)
             opt.explore.shard_index = static_cast<int>(idx);
             opt.explore.shard_count = static_cast<int>(cnt);
         } else if (a == "--promote-frac") {
+            halving_flag_seen = "--promote-frac";
             std::string v = value(i);
             char *end = nullptr;
             const double f = std::strtod(v.c_str(), &end);
@@ -276,6 +299,27 @@ parseArgs(int argc, char **argv)
                 usageError("--promote-frac must be a number in "
                            "(0, 1), got \"" + v + "\"");
             opt.explore.promote_frac = f;
+        } else if (a == "--rungs") {
+            halving_flag_seen = "--rungs";
+            saw_rungs = true;
+            std::string v = value(i);
+            opt.explore.rungs.clear();
+            for (const std::string &s : harness::splitList(v)) {
+                if (lowered(s) == "all") {
+                    opt.explore.rungs.push_back(0);
+                    continue;
+                }
+                char *end = nullptr;
+                long n = std::strtol(s.c_str(), &end, 10);
+                if (s.empty() || end != s.c_str() + s.size() ||
+                    n < 1)
+                    usageError("bad rung \"" + s + "\" (expected a "
+                               "workload count >= 1 or \"all\")");
+                opt.explore.rungs.push_back(static_cast<int>(n));
+            }
+            if (opt.explore.rungs.size() < 2)
+                usageError("--rungs needs at least two fidelity "
+                           "levels, e.g. \"2,all\"");
         } else if (a == "--strategy") {
             std::string v = value(i);
             if (!parseStrategy(v, opt.explore.strategy))
@@ -291,6 +335,8 @@ parseArgs(int argc, char **argv)
             if (opt.explore.population < 2)
                 usageError("--population must be >= 2");
         } else if (a == "--screen-workloads") {
+            halving_flag_seen = "--screen-workloads";
+            saw_screen_workloads = true;
             std::string v = value(i);
             char *end = nullptr;
             long n = std::strtol(v.c_str(), &end, 10);
@@ -394,6 +440,16 @@ parseArgs(int argc, char **argv)
             usageError("unknown option \"" + a + "\"");
         }
     }
+    if (halving_flag_seen &&
+        opt.explore.strategy != Strategy::HALVING)
+        usageError(std::string(halving_flag_seen) + " only applies "
+                   "to --strategy halving (got --strategy " +
+                   strategyName(opt.explore.strategy) +
+                   "); the flag would be silently ignored");
+    if (saw_rungs && saw_screen_workloads)
+        usageError("--rungs and --screen-workloads are mutually "
+                   "exclusive (the rung schedule defines every "
+                   "screening subset)");
     return opt;
 }
 
@@ -447,6 +503,14 @@ main(int argc, char **argv)
             std::printf("%llu screened on {%s}\n",
                         static_cast<unsigned long long>(res.screened),
                         joined(res.screen_workloads).c_str());
+        for (std::size_t k = 0; k < res.rungs.size(); k++)
+            std::printf("  rung %zu (%2d workloads): %3llu in, "
+                        "%3llu promoted\n",
+                        k, res.rungs[k],
+                        static_cast<unsigned long long>(
+                                res.rung_screened[k]),
+                        static_cast<unsigned long long>(
+                                res.rung_promoted[k]));
         if (res.resumed)
             std::printf("%llu points resumed without "
                         "re-simulation\n",

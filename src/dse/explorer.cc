@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <deque>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <set>
 
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "common/strutil.hh"
 #include "harness/runner.hh"
+#include "sim/gpu.hh"
 #include "tech/energy_model.hh"
 #include "workloads/workload.hh"
 
@@ -22,10 +26,12 @@ namespace
 {
 
 /**
- * Candidates are admitted in fixed-size batches: pruning and
- * frontier updates happen only at batch boundaries, so decisions
- * depend on batch order alone — never on the job count. The batch
- * size is a constant for the same reason.
+ * Candidates are admitted to the cell pipeline in fixed-size
+ * batches: pruning decisions happen at admission boundaries and
+ * frontier commits in admission order, so both depend on the
+ * admission sequence alone — never on the job count or on which
+ * cell finishes first. The batch size is a constant for the same
+ * reason.
  */
 constexpr std::size_t POINT_BATCH = 16;
 
@@ -66,10 +72,20 @@ struct PruneEntry
 };
 
 /**
- * Evaluates design points across workload subsets, memoizing each
- * simulated (simKey, workload) cell: a point screened on a workload
- * subset and later promoted to the full suite only simulates the
- * workloads it has not already run.
+ * Evaluates design points across workload subsets on a cell-level
+ * pipeline, memoizing each simulated (simKey, workload) cell: a
+ * point screened on a workload subset and later promoted to a
+ * larger one only simulates the workloads it has not already run.
+ *
+ * The pipeline splits evaluation into begin() — claim the missing
+ * cells and submit each one as an independent task on the harness
+ * work-stealing pool — and collect() — block until a ticket's cells
+ * have landed and fold them into objectives. Because admission and
+ * collection are decoupled, the explorer can admit the next batch's
+ * cells while a straggler from an earlier batch is still
+ * simulating; because every cell simulation is a pure seeded
+ * function of its configuration, the folded objectives are
+ * bit-identical no matter which worker ran which cell when.
  */
 class Evaluator
 {
@@ -80,61 +96,100 @@ class Evaluator
           num_sms(opt.num_sms), seed(opt.seed)
     {}
 
-    /**
-     * Evaluate @p points (deduplicated by the caller) on the
-     * workloads selected by @p wsel (indices into the suite):
-     * simulate the missing cells on the pool, then fold each
-     * point's rows into an objective vector over that subset.
-     */
-    std::vector<PointResult>
-    evaluate(const std::vector<DesignPoint> &points,
-             const std::vector<std::size_t> &wsel)
-    {
-        if (points.empty())
-            return {};
-        ensureBaselines();
+    /** Workers write into cache cells the fold reads; finish them
+     *  before the cache goes away. */
+    ~Evaluator() { runner.drain(); }
 
-        // Collect the cells this batch still needs to simulate.
-        struct Slot
-        {
-            std::string key;
-            std::size_t w;
-        };
-        std::vector<harness::SweepCell> cells;
-        std::vector<Slot> slots;
-        for (const DesignPoint &p : points) {
+    /** One simulation cell: a (simKey, workload) result slot. */
+    struct Cell
+    {
+        SimResult result;
+        /** A ticket owns the simulation (submitted or finished);
+         *  later tickets reuse instead of resubmitting. */
+        bool claimed = false;
+        /** result is valid. Guarded by mu. */
+        bool done = false;
+    };
+
+    /**
+     * A batch admitted to the pipeline: every missing cell has been
+     * submitted; collect() folds once they land. Cells claimed by
+     * earlier tickets that this batch also reads are listed too —
+     * collect() must wait for them even though it did not submit
+     * them.
+     */
+    struct Ticket
+    {
+        std::vector<DesignPoint> points;
+        std::vector<std::size_t> wsel;
+        std::vector<const Cell *> cells;
+    };
+
+    /**
+     * Admit @p points (deduplicated by the caller) for evaluation
+     * on the workloads selected by @p wsel (indices into the
+     * suite): claim and submit every cell not already claimed, and
+     * return the ticket collect() redeems. Baseline cells are
+     * submitted lazily on the first non-empty admission — a resumed
+     * search that evaluates nothing new (--resume with
+     * --generations 0) must not simulate at all.
+     */
+    Ticket
+    begin(std::vector<DesignPoint> points,
+          std::vector<std::size_t> wsel)
+    {
+        Ticket t;
+        t.points = std::move(points);
+        t.wsel = std::move(wsel);
+        if (t.points.empty())
+            return t;
+        ensureBaselines();
+        for (const DesignPoint &p : t.points) {
             SimConfig cfg = configFor(p, num_sms);
-            const std::string key = simKey(cfg);
-            CacheRow &row = rowFor(key);
-            for (std::size_t w : wsel) {
-                if (row.have[w]) {
+            CacheRow &row = rowFor(simKey(cfg));
+            for (std::size_t w : t.wsel) {
+                Cell &cell = row.cells[w];
+                t.cells.push_back(&cell);
+                if (cell.claimed) {
                     sim_reuse++;
                     continue;
                 }
-                row.have[w] = 1;    // claimed for this batch
-                harness::SweepCell c;
-                c.index = static_cast<int>(cells.size());
-                c.workload = names[w];
-                c.tag = key;
-                c.config = cfg;
-                c.seed = seed;
-                cells.push_back(std::move(c));
-                slots.push_back({key, w});
+                cell.claimed = true;
+                sim_cells++;
+                submitCell(cell, cfg, names[w]);
             }
         }
+        // Folding normalizes against the baselines, so the ticket
+        // waits on them like any other cell.
+        for (const Cell &b : baseline_cells)
+            t.cells.push_back(&b);
+        return t;
+    }
 
-        if (!cells.empty()) {
-            harness::ResultSet rs = runner.run(cells);
-            sim_cells += cells.size();
-            for (std::size_t i = 0; i < slots.size(); i++)
-                sim_cache.at(slots[i].key).rows[slots[i].w] =
-                        rs.rows()[i].result;
+    /**
+     * Block until every cell @p t reads has landed, then fold each
+     * point's rows into an objective vector over the ticket's
+     * workload subset.
+     */
+    std::vector<PointResult>
+    collect(const Ticket &t)
+    {
+        if (t.points.empty())
+            return {};
+        {
+            std::unique_lock<std::mutex> lk(mu);
+            cell_done.wait(lk, [&] {
+                for (const Cell *c : t.cells)
+                    if (!c->done)
+                        return false;
+                return true;
+            });
         }
-
+        ensureBaselineRows();
         std::vector<PointResult> out;
-        out.reserve(points.size());
-        for (const DesignPoint &p : points)
-            out.push_back(fold(p, wsel));
+        out.reserve(t.points.size());
+        for (const DesignPoint &p : t.points)
+            out.push_back(fold(p, t.wsel));
         return out;
     }
 
@@ -144,8 +199,9 @@ class Evaluator
   private:
     struct CacheRow
     {
-        std::vector<SimResult> rows;
-        std::vector<char> have;
+        /** One slot per suite workload; sized once at creation so
+         *  cell addresses stay stable for in-flight tasks. */
+        std::vector<Cell> cells;
     };
 
     CacheRow &
@@ -154,38 +210,55 @@ class Evaluator
         auto it = sim_cache.find(key);
         if (it == sim_cache.end()) {
             CacheRow row;
-            row.rows.resize(names.size());
-            row.have.assign(names.size(), 0);
+            row.cells.resize(names.size());
             it = sim_cache.emplace(key, std::move(row)).first;
         }
         return it->second;
     }
 
-    /**
-     * Baselines are computed on first use: a resumed search that
-     * evaluates nothing new (--resume with --generations 0) must
-     * not simulate at all.
-     */
+    /** Submit @p cell's simulation; the task publishes its result
+     *  under the evaluator lock and wakes any collector. */
+    void
+    submitCell(Cell &cell, const SimConfig &cfg,
+               const std::string &workload)
+    {
+        runner.submit([this, &cell, cfg, workload] {
+            SimResult r = simulate(
+                    cfg, WorkloadSuite::byName(workload).kernel, seed);
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                cell.result = std::move(r);
+                cell.done = true;
+            }
+            cell_done.notify_all();
+        });
+    }
+
     void
     ensureBaselines()
     {
+        if (!baseline_cells.empty())
+            return;
+        baseline_cells.resize(names.size());
+        for (std::size_t w = 0; w < names.size(); w++) {
+            SimConfig cfg;
+            cfg.num_sms = num_sms;
+            cfg.design = RfDesign::BL;
+            baseline_cells[w].claimed = true;
+            sim_cells++;
+            submitCell(baseline_cells[w], cfg, names[w]);
+        }
+    }
+
+    /** Derive the per-workload normalization rows once the baseline
+     *  cells have landed (collect() waited on them already). */
+    void
+    ensureBaselineRows()
+    {
         if (!baselines.empty())
             return;
-        std::vector<harness::SweepCell> cells;
-        for (const std::string &w : names) {
-            harness::SweepCell c;
-            c.index = static_cast<int>(cells.size());
-            c.workload = w;
-            c.tag = "baseline";
-            c.config.num_sms = num_sms;
-            c.config.design = RfDesign::BL;
-            c.seed = seed;
-            cells.push_back(std::move(c));
-        }
-        harness::ResultSet rs = runner.run(cells);
-        sim_cells += cells.size();
         for (std::size_t w = 0; w < names.size(); w++) {
-            const SimResult &r = rs.rows()[w].result;
+            const SimResult &r = baseline_cells[w].result;
             ltrf_assert(r.ipc > 0.0, "baseline IPC of %s is zero",
                         names[w].c_str());
             baselines.push_back(
@@ -208,7 +281,7 @@ class Evaluator
         std::vector<double> norm_ipc;
         double energy_sum = 0.0;
         for (std::size_t w : wsel) {
-            const SimResult &r = row.rows[w];
+            const SimResult &r = row.cells[w].result;
             norm_ipc.push_back(r.ipc / baselines[w].ipc);
             // rfPower() is normalized so the baseline design on
             // configuration #1 at the baseline access rate is 1.0,
@@ -232,7 +305,10 @@ class Evaluator
     int num_sms;
     std::uint64_t seed;
     std::vector<BaselineRow> baselines;
+    std::vector<Cell> baseline_cells;
     std::map<std::string, CacheRow> sim_cache;
+    std::mutex mu;
+    std::condition_variable cell_done;
     std::uint64_t sim_cells = 0;
     std::uint64_t sim_reuse = 0;
 };
@@ -278,6 +354,31 @@ pruneEntryFor(const DesignPoint &p)
     e.area = rc.area;
     e.power = rc.power;
     return e;
+}
+
+/**
+ * The network values the prune context compares across: the space's
+ * explicit `--networks` list, falling back to the distinct values
+ * the auto pairing derives over the banks axis when the list is
+ * empty. Pruning itself needs no network equality (the network
+ * reaches the simulation only through the latency multiplier, and
+ * the cost objectives only through area/power — all three are in
+ * the dominance scalars), but this list determines whether any
+ * dominated variant can exist at all: see pruneCanFire().
+ */
+std::vector<NetworkKind>
+pruneNetworks(const DesignSpace &space)
+{
+    if (!space.networks.empty())
+        return space.networks;
+    std::vector<NetworkKind> fallback;
+    for (int b : space.banks) {
+        const NetworkKind n = defaultNetwork(b);
+        if (std::find(fallback.begin(), fallback.end(), n) ==
+            fallback.end())
+            fallback.push_back(n);
+    }
+    return fallback;
 }
 
 // ----- NSGA-II machinery (EVOLVE selection, HALVING promotion) -----
@@ -478,6 +579,25 @@ parseStrategy(const std::string &name, Strategy &out)
     return false;
 }
 
+bool
+pruneCanFire(const DesignSpace &space)
+{
+    // Two networks competing at one bank count is the analytic
+    // model's only dominance source (see the header comment). The
+    // explicit axis crosses every listed value with every bank
+    // count; the auto fallback pairs exactly one per bank count, so
+    // only an explicit list with both values leaves anything to
+    // prune.
+    if (space.networks.empty())
+        return false;
+    std::vector<NetworkKind> distinct;
+    for (NetworkKind n : space.networks)
+        if (std::find(distinct.begin(), distinct.end(), n) ==
+            distinct.end())
+            distinct.push_back(n);
+    return distinct.size() >= 2;
+}
+
 DseResult
 explore(const DesignSpace &space, const ExploreOptions &opt)
 {
@@ -514,38 +634,99 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
         for (const std::string &n : names)
             WorkloadSuite::byName(n);    // fatal(), listing names
 
-    // The screening subset (HALVING): explicit names, or the first
-    // screen_count workloads of the active suite.
-    std::vector<std::size_t> screen_sel;
+    std::vector<std::size_t> all_sel;
+    for (std::size_t w = 0; w < names.size(); w++)
+        all_sel.push_back(w);
+
+    // The rung schedule (HALVING): fidelity levels as workload index
+    // subsets, smallest first, each a subset of the next, ending
+    // with the full suite. --rungs builds K prefix subsets; the
+    // default is the legacy two-rung schedule [screening subset,
+    // all] with the subset from explicit names or screen_count.
+    std::vector<std::vector<std::size_t>> rung_sel;
+    std::vector<int> rung_counts;
     std::vector<std::string> screen_names;
     if (opt.strategy == Strategy::HALVING) {
-        if (!opt.screen_workloads.empty()) {
-            for (const std::string &s : opt.screen_workloads) {
-                const auto it =
-                        std::find(names.begin(), names.end(), s);
-                if (it == names.end())
-                    ltrf_fatal("screening workload \"%s\" is not in "
-                               "the active suite", s.c_str());
-                const std::size_t w = static_cast<std::size_t>(
-                        it - names.begin());
-                if (std::find(screen_sel.begin(), screen_sel.end(),
-                              w) != screen_sel.end())
-                    ltrf_fatal("screening workload \"%s\" listed "
-                               "twice", s.c_str());
-                screen_sel.push_back(w);
+        if (!opt.rungs.empty()) {
+            if (!opt.screen_workloads.empty())
+                ltrf_fatal("--rungs and an explicit "
+                           "--screen-workloads list are mutually "
+                           "exclusive (the rung schedule defines "
+                           "every screening subset)");
+            if (opt.rungs.size() < 2)
+                ltrf_fatal("--rungs needs at least two fidelity "
+                           "levels (a screening rung and the full "
+                           "suite)");
+            int prev = 0;
+            for (std::size_t k = 0; k < opt.rungs.size(); k++) {
+                int n = opt.rungs[k];
+                if (n == 0)    // "all"
+                    n = static_cast<int>(names.size());
+                if (n < 1 ||
+                    n > static_cast<int>(names.size()))
+                    ltrf_fatal("rung %zu asks for %d workloads but "
+                               "the active suite has %zu", k,
+                               opt.rungs[k], names.size());
+                if (n <= prev)
+                    ltrf_fatal("rung workload counts must be "
+                               "strictly increasing (rung %zu: %d "
+                               "after %d)", k, n, prev);
+                prev = n;
+                rung_counts.push_back(n);
+                std::vector<std::size_t> sel;
+                for (std::size_t w = 0;
+                     w < static_cast<std::size_t>(n); w++)
+                    sel.push_back(w);
+                rung_sel.push_back(std::move(sel));
             }
+            if (rung_counts.back() !=
+                static_cast<int>(names.size()))
+                ltrf_fatal("the last rung must be the full suite "
+                           "(\"all\" or %zu workloads); got %d",
+                           names.size(), rung_counts.back());
         } else {
-            if (opt.screen_count < 1)
-                ltrf_fatal("--screen-workloads must name at least "
-                           "one workload");
-            const std::size_t n = std::min(
-                    static_cast<std::size_t>(opt.screen_count),
-                    names.size());
-            for (std::size_t w = 0; w < n; w++)
-                screen_sel.push_back(w);
+            // The legacy two-rung schedule: explicit screening
+            // names, or the first screen_count workloads of the
+            // active suite, then everything.
+            std::vector<std::size_t> screen_sel;
+            if (!opt.screen_workloads.empty()) {
+                for (const std::string &s : opt.screen_workloads) {
+                    const auto it =
+                            std::find(names.begin(), names.end(), s);
+                    if (it == names.end())
+                        ltrf_fatal("screening workload \"%s\" is "
+                                   "not in the active suite",
+                                   s.c_str());
+                    const std::size_t w = static_cast<std::size_t>(
+                            it - names.begin());
+                    if (std::find(screen_sel.begin(),
+                                  screen_sel.end(), w) !=
+                        screen_sel.end())
+                        ltrf_fatal("screening workload \"%s\" "
+                                   "listed twice", s.c_str());
+                    screen_sel.push_back(w);
+                }
+            } else {
+                if (opt.screen_count < 1)
+                    ltrf_fatal("--screen-workloads must name at "
+                               "least one workload");
+                const std::size_t n = std::min(
+                        static_cast<std::size_t>(opt.screen_count),
+                        names.size());
+                for (std::size_t w = 0; w < n; w++)
+                    screen_sel.push_back(w);
+            }
+            rung_counts.push_back(
+                    static_cast<int>(screen_sel.size()));
+            rung_counts.push_back(static_cast<int>(names.size()));
+            rung_sel.push_back(std::move(screen_sel));
+            rung_sel.push_back(all_sel);
         }
-        for (std::size_t w : screen_sel)
+        for (std::size_t w : rung_sel.front())
             screen_names.push_back(names[w]);
+    } else if (!opt.rungs.empty()) {
+        ltrf_fatal("--rungs only applies to the halving strategy "
+                   "(got --strategy %s)", strategyName(opt.strategy));
     }
 
     // A resumed frontier's objectives were measured under the saved
@@ -589,13 +770,32 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
     }
     res.screen_workloads = screen_names;
     res.promote_frac = opt.promote_frac;
+    res.rungs = rung_counts;
+    res.rung_screened.assign(rung_counts.size(), 0);
+    res.rung_promoted.assign(rung_counts.size(), 0);
     res.shard_index = opt.shard_index;
     res.shard_count = opt.shard_count;
     res.hv_ref = opt.hv_ref;
 
-    std::vector<std::size_t> all_sel;
-    for (std::size_t w = 0; w < names.size(); w++)
-        all_sel.push_back(w);
+    // The heuristic is enabled but structurally inactive on spaces
+    // whose (possibly fallback-derived) network axis pairs each
+    // bank count with a single network — say so instead of silently
+    // pruning nothing, so a default (auto-network) run that forces
+    // --prune knows why its pruned counter stays zero.
+    if (res.prune && !pruneCanFire(space)) {
+        std::string nets;
+        for (NetworkKind n : pruneNetworks(space))
+            nets += std::string(nets.empty() ? "" : ", ") +
+                    networkToken(n);
+        ltrf_warn("model-dominance pruning is enabled but cannot "
+                  "fire: the %s network axis pairs each bank count "
+                  "with a single network ({%s}), so the space holds "
+                  "no model-dominated variants; pass --networks "
+                  "xbar,fbfly to prune across the network axis",
+                  space.networks.empty() ? "auto (fallback)"
+                                         : "explicit",
+                  nets.c_str());
+    }
 
     Evaluator ev(opt, names);
     ParetoFrontier frontier;
@@ -637,8 +837,26 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
 
     int current_gen = -1;    // stamped into PointResult::gen
 
-    /** Full-fidelity evaluation of a deduplicated batch; returns
-     *  the indices the batch added to res.evaluated. */
+    // ----- The cell pipeline: full-fidelity batches are *admitted*
+    // (pruned against everything admitted so far, their missing
+    // cells submitted to the pool) and later *committed* (cells
+    // awaited, objectives folded, frontier updated) strictly in
+    // admission order. Strategies interleave the two however their
+    // data dependencies allow; the committed state sequence only
+    // ever depends on the admission sequence. -----
+
+    struct Admission
+    {
+        Evaluator::Ticket ticket;
+        int gen;
+    };
+    std::deque<Admission> pipeline;
+    std::uint64_t batches_admitted = 0;
+    std::uint64_t batches_committed = 0;
+
+    /** Prune @p batch against every earlier admission, then submit
+     *  the survivors' cells. Points within one batch are never
+     *  pruned against each other (pre-pipeline behavior, kept). */
     auto admitBatch = [&](const std::vector<DesignPoint> &batch) {
         std::vector<DesignPoint> kept;
         for (const DesignPoint &p : batch) {
@@ -649,39 +867,70 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
             }
             kept.push_back(p);
         }
+        for (const DesignPoint &p : kept)
+            prune_entries.push_back(pruneEntryFor(p));
+        if (kept.empty())
+            return;
+        pipeline.push_back(
+                {ev.begin(std::move(kept), all_sel), current_gen});
+        batches_admitted++;
+    };
+
+    /** Commit the oldest admission; returns the indices it added to
+     *  res.evaluated. */
+    auto commitBatch = [&]() {
+        Admission a = std::move(pipeline.front());
+        pipeline.pop_front();
+        batches_committed++;
         std::vector<int> added;
-        for (PointResult &pr : ev.evaluate(kept, all_sel)) {
+        for (PointResult &pr : ev.collect(a.ticket)) {
             const int idx = static_cast<int>(res.evaluated.size());
-            pr.gen = current_gen;
+            pr.gen = a.gen;
             frontier.insert(idx, pr.obj);
-            prune_entries.push_back(pruneEntryFor(pr.point));
             res.evaluated.push_back(std::move(pr));
             added.push_back(idx);
         }
         return added;
     };
 
-    auto processBatch = [&](const std::vector<DesignPoint> &batch) {
-        considered += batch.size();
-        return admitBatch(batch);
+    auto commitAll = [&]() {
+        std::vector<int> added;
+        while (!pipeline.empty()) {
+            const std::vector<int> b = commitBatch();
+            added.insert(added.end(), b.begin(), b.end());
+        }
+        return added;
     };
 
     /** Admit @p cands in fixed POINT_BATCH slices, counting them
      *  toward the budget unless @p counted already were. */
-    auto processAll = [&](const std::vector<DesignPoint> &cands,
-                          bool counted = false) {
-        std::vector<int> added;
+    auto beginAll = [&](const std::vector<DesignPoint> &cands,
+                        bool counted = false) {
         for (std::size_t i = 0; i < cands.size(); i += POINT_BATCH) {
             std::vector<DesignPoint> batch(
                     cands.begin() + static_cast<std::ptrdiff_t>(i),
                     cands.begin() +
                             static_cast<std::ptrdiff_t>(std::min(
                                     i + POINT_BATCH, cands.size())));
-            const std::vector<int> b =
-                    counted ? admitBatch(batch) : processBatch(batch);
-            added.insert(added.end(), b.begin(), b.end());
+            if (!counted)
+                considered += batch.size();
+            admitBatch(batch);
         }
-        return added;
+    };
+
+    /** Admit every slice of @p cands before collecting any of them
+     *  (cells of later slices overlap stragglers of earlier ones),
+     *  then commit in admission order. */
+    auto processAll = [&](const std::vector<DesignPoint> &cands,
+                          bool counted = false) {
+        beginAll(cands, counted);
+        return commitAll();
+    };
+
+    auto processBatch = [&](const std::vector<DesignPoint> &batch) {
+        considered += batch.size();
+        admitBatch(batch);
+        return commitAll();
     };
 
     auto recordProgress = [&](int gen) {
@@ -944,46 +1193,106 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
       }
       case Strategy::HALVING: {
           recordProgress(0);
+          const std::size_t num_rungs = rung_sel.size();
+
+          // Phase A: the admission schedule is simulation-free —
+          // pool sampling reads only `seen` and the budget — so
+          // every generation's pool is sampled and its first-rung
+          // screening submitted before any result is collected.
+          // Later generations' screens run while earlier
+          // generations' promotions are still in flight.
+          struct GenPlan
+          {
+              std::vector<DesignPoint> pool;
+              Evaluator::Ticket screen;
+          };
+          std::vector<GenPlan> plan;
           for (int g = 0; g < opt.generations; g++) {
               if (budgetLeft() == 0)
                   break;
-              current_gen = g + 1;
               Rng rng(mixSeeds(opt.seed, STREAM_HALVING_GEN +
                                        static_cast<std::uint64_t>(g)));
               const std::uint64_t want = std::min(
                       budgetLeft(),
                       static_cast<std::uint64_t>(opt.population));
-              const std::vector<DesignPoint> pool =
+              std::vector<DesignPoint> pool =
                       sampleDistinct(rng, want);
               if (pool.empty())
                   break;    // space exhausted
               considered += pool.size();
               res.screened += pool.size();
+              res.rung_screened[0] += pool.size();
+              GenPlan gp;
+              gp.screen = ev.begin(pool, rung_sel[0]);
+              gp.pool = std::move(pool);
+              plan.push_back(std::move(gp));
+          }
 
-              // Screen the pool on the workload subset, rank it,
-              // and promote the top promote_frac (at least one
-              // point) to the full suite. The screened (config,
-              // workload) cells stay in the sim cache, so promotion
-              // only simulates the remaining workloads.
-              const std::vector<PointResult> screened =
-                      ev.evaluate(pool, screen_sel);
-              std::vector<Objectives> objs;
-              objs.reserve(screened.size());
-              for (const PointResult &pr : screened)
-                  objs.push_back(pr.obj);
-              const std::vector<std::size_t> order = nsgaOrder(objs);
-              const std::size_t promote = std::min(
-                      pool.size(),
-                      std::max<std::size_t>(
-                              1, static_cast<std::size_t>(std::ceil(
-                                         static_cast<double>(
-                                                 pool.size()) *
-                                         opt.promote_frac))));
-              std::vector<DesignPoint> promoted;
-              for (std::size_t k = 0; k < promote; k++)
-                  promoted.push_back(pool[order[k]]);
-              processAll(promoted, /*counted=*/true);
-              recordProgress(g + 1);
+          /** At least one, at most all: the per-rung promotion
+           *  cut. */
+          auto promoteCut = [&](std::size_t n) {
+              return std::min(
+                      n, std::max<std::size_t>(
+                                 1, static_cast<std::size_t>(
+                                            std::ceil(static_cast<
+                                                              double>(
+                                                              n) *
+                                                      opt.promote_frac))));
+          };
+
+          // Phase B: cascade each generation through the rung
+          // schedule. Ranking the k-th rung's survivors waits only
+          // on that rung's cells; each promotion reuses every cell
+          // screened at lower rungs, simulating just the workloads
+          // the next rung adds. Full-fidelity admissions queue up
+          // behind `marks` and commit — in admission order — after
+          // the cascades, so one generation's stragglers never gate
+          // the next generation's rungs.
+          struct Mark
+          {
+              std::uint64_t batches;
+              int gen;
+          };
+          std::vector<Mark> marks;
+          for (std::size_t gi = 0; gi < plan.size(); gi++) {
+              current_gen = static_cast<int>(gi) + 1;
+              std::vector<DesignPoint> survivors =
+                      std::move(plan[gi].pool);
+              Evaluator::Ticket ticket = std::move(plan[gi].screen);
+              for (std::size_t k = 0; k + 1 < num_rungs; k++) {
+                  const std::vector<PointResult> screened =
+                          ev.collect(ticket);
+                  std::vector<Objectives> objs;
+                  objs.reserve(screened.size());
+                  for (const PointResult &pr : screened)
+                      objs.push_back(pr.obj);
+                  const std::vector<std::size_t> order =
+                          nsgaOrder(objs);
+                  const std::size_t promote =
+                          promoteCut(survivors.size());
+                  std::vector<DesignPoint> next;
+                  next.reserve(promote);
+                  for (std::size_t j = 0; j < promote; j++)
+                      next.push_back(survivors[order[j]]);
+                  res.rung_promoted[k] += promote;
+                  survivors = std::move(next);
+                  if (k + 2 < num_rungs) {
+                      // An intermediate screening rung: still below
+                      // full fidelity, so its points count as
+                      // screened, not evaluated.
+                      res.screened += survivors.size();
+                      res.rung_screened[k + 1] += survivors.size();
+                      ticket = ev.begin(survivors, rung_sel[k + 1]);
+                  }
+              }
+              res.rung_screened[num_rungs - 1] += survivors.size();
+              beginAll(survivors, /*counted=*/true);
+              marks.push_back({batches_admitted, current_gen});
+          }
+          for (const Mark &m : marks) {
+              while (batches_committed < m.batches)
+                  commitBatch();
+              recordProgress(m.gen);
           }
           break;
       }
@@ -1005,7 +1314,7 @@ Json
 DseResult::toJson() const
 {
     Json root = Json::object();
-    root.set("schema", "ltrf.dse.v3");
+    root.set("schema", "ltrf.dse.v4");
     root.set("strategy", strategyName(strategy));
     root.set("budget", budget);
     // As a string, like ResultSet seeds: doubles round above 2^53.
@@ -1023,6 +1332,23 @@ DseResult::toJson() const
             sw.push(w);
         root.set("screen_workloads", std::move(sw));
         root.set("promote_frac", promote_frac);
+    }
+    if (!rungs.empty()) {
+        // The rung schedule and its per-rung counters (v4): how
+        // many points entered each fidelity level and how many it
+        // promoted, summed over generations.
+        Json rc = Json::array();
+        for (int n : rungs)
+            rc.push(n);
+        root.set("rungs", std::move(rc));
+        Json rs = Json::array();
+        for (std::uint64_t v : rung_screened)
+            rs.push(v);
+        root.set("rung_screened", std::move(rs));
+        Json rp = Json::array();
+        for (std::uint64_t v : rung_promoted)
+            rp.push(v);
+        root.set("rung_promoted", std::move(rp));
     }
     Json ref = Json::object();
     ref.set("ipc", hv_ref.ipc);
@@ -1074,10 +1400,12 @@ DseResult::toCsv() const
 {
     // Header and rows walk pointToJson()'s keys (the nested axis
     // map flattens to one column per registry axis), so the column
-    // set cannot drift from the JSON schema.
+    // set cannot drift from the JSON schema. String fields are
+    // RFC 4180-quoted; number/bool texts never need it.
     auto cell = [](const Json &v) {
-        return v.type() == Json::Type::STRING ? v.asString()
-                                              : v.dump();
+        return v.type() == Json::Type::STRING
+                       ? harness::csvField(v.asString())
+                       : v.dump();
     };
     std::string out;
     for (std::size_t i = 0; i < evaluated.size(); i++) {

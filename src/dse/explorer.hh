@@ -17,11 +17,15 @@
  *                crowding distance), axis-wise crossover, and
  *                mutation to a random single-step neighbor.
  *  - HALVING:    successive-halving multi-fidelity search: each
- *                generation screens a fresh candidate pool on a
- *                small workload subset and promotes the top half to
- *                the full suite. Only full-fidelity results enter
- *                the frontier; promotions reuse the screened
- *                (config, workload) cells, never re-simulating them.
+ *                generation screens a fresh candidate pool through a
+ *                rung schedule of growing workload subsets,
+ *                promoting the top promote_frac at every rung until
+ *                the survivors reach the full suite (the default
+ *                schedule is the classic two rungs: one screening
+ *                subset, then everything). Only full-fidelity
+ *                results enter the frontier; promotions reuse the
+ *                screened (config, workload) cells, never
+ *                re-simulating them.
  *
  * Cost controls: points whose simulated configuration is identical
  * (simKey) are simulated once and share results; RANDOM and
@@ -30,7 +34,11 @@
  * cache/policy/warp axes (a monotonicity heuristic — disabled by
  * default for GRID so exhaustive walks really are exhaustive, and
  * for the generational strategies so population sizes mean what
- * they say).
+ * they say). The heuristic's comparison set spans the network axis
+ * (explicit `--networks` values, or the auto pairing's derived
+ * values as the fallback); when the space pairs each bank count
+ * with a single network the heuristic cannot fire, and enabling it
+ * warns instead of silently pruning nothing (see pruneCanFire()).
  *
  * Analytics and persistence: the report carries the frontier's
  * hypervolume (per generation for the generational strategies) and
@@ -38,12 +46,18 @@
  * the frontier without re-simulation and, for EVOLVE, form the
  * initial population.
  *
- * Determinism: all strategy decisions (sampling, selection,
- * promotion, pruning, frontier updates) happen between fixed-size
- * candidate batches, every random draw comes from a seeded stream
- * derived only from (seed, purpose, generation/restart index), and
- * batch contents never depend on the job count — so the result, and
- * its serialized form, is byte-identical for any `--jobs` value.
+ * Determinism model: candidates are *admitted* to a cell-level
+ * pipeline in a sequence that depends only on (seed, options) —
+ * every admission decision (sampling, pruning, selection,
+ * promotion) reads either seeded RNG streams, analytic scalars, or
+ * results that were themselves committed deterministically — and
+ * frontier/report *commits* happen strictly in admission order. In
+ * between, each admitted (simKey, workload) cell is an independent
+ * task on a work-stealing pool, so a straggler cell never gates the
+ * cells admitted after it (the next halving pool's screens run
+ * while a previous rung's promotions finish), yet the committed
+ * result, and its serialized form, is byte-identical for any
+ * `--jobs` value.
  */
 
 #ifndef LTRF_DSE_EXPLORER_HH
@@ -140,10 +154,22 @@ struct ExploreOptions
     std::vector<std::string> screen_workloads;
     int screen_count = 2;
 
-    /** HALVING's promotion fraction: ceil(pool * promote_frac)
-     *  screened candidates (at least one) advance to the full
-     *  suite. Must lie in (0, 1); 0.5 is the classic top half. */
+    /** HALVING's promotion fraction, applied at every rung:
+     *  ceil(rung pool * promote_frac) candidates (at least one)
+     *  advance to the next rung. Must lie in (0, 1); 0.5 is the
+     *  classic top half. */
     double promote_frac = 0.5;
+
+    /**
+     * HALVING's rung schedule: per-rung workload counts (each rung
+     * evaluates the first N workloads of the active suite; 0 means
+     * "all"). Counts must be strictly increasing and the last rung
+     * must be the full suite. Empty = the legacy two-rung schedule
+     * [screen subset, all] built from screen_workloads /
+     * screen_count; a non-empty schedule excludes explicit
+     * screen_workloads names (the schedule defines every subset).
+     */
+    std::vector<int> rungs;
 
     /** Hypervolume reference point (see defaultHvRef()). */
     Objectives hv_ref = defaultHvRef();
@@ -189,6 +215,9 @@ struct DseResult
     int population = 0;
     std::vector<std::string> screen_workloads;    ///< HALVING only
     double promote_frac = 0.5;                    ///< HALVING only
+    /** Resolved per-rung workload counts (HALVING only; the last
+     *  entry is the full suite). */
+    std::vector<int> rungs;
     int shard_index = 0;
     int shard_count = 1;
     Objectives hv_ref;
@@ -216,12 +245,21 @@ struct DseResult
     std::uint64_t pruned = 0;       ///< candidates skipped by dominance
     std::uint64_t sim_reuse = 0;    ///< cells served from the sim cache
     std::uint64_t sim_cells = 0;    ///< (config, workload) cells simulated
-    std::uint64_t screened = 0;     ///< points screened at low fidelity
+    std::uint64_t screened = 0;     ///< points screened below full fidelity
     std::uint64_t resumed = 0;      ///< points seeded from --resume
     std::uint64_t restarts = 0;     ///< HILL_CLIMB seeded restarts
 
-    /** Deterministic report (schema ltrf.dse.v3: per-point axis
-     *  maps keyed by the axis registry, shard echo). */
+    /** Points admitted to each rung, summed over generations
+     *  (HALVING only; one entry per rung, the last being the
+     *  full-fidelity entrants). */
+    std::vector<std::uint64_t> rung_screened;
+    /** Points promoted out of each rung (the last entry stays 0:
+     *  full-fidelity survivors have nowhere further to go). */
+    std::vector<std::uint64_t> rung_promoted;
+
+    /** Deterministic report (schema ltrf.dse.v4: per-point axis
+     *  maps keyed by the axis registry, shard echo, per-rung
+     *  screened/promoted counters for HALVING). */
     harness::Json toJson() const;
     /** One row per evaluated point, frontier flag included, then a
      *  per-generation hypervolume table. */
@@ -233,10 +271,25 @@ struct DseResult
 /**
  * Run the exploration. fatal() on invalid spaces, unknown workload
  * names, a missing budget for RANDOM/HILL_CLIMB, bad generational
- * parameters, or a resume seed measured on a different workload
- * suite.
+ * parameters, a malformed rung schedule, or a resume seed measured
+ * on a different workload suite.
  */
 DseResult explore(const DesignSpace &space, const ExploreOptions &opt);
+
+/**
+ * True when the model-dominance pruning heuristic can fire on
+ * @p space at all. The analytic RF model is strictly monotone
+ * within a technology (more capacity always costs more area and
+ * power) and the four technologies form a latency/power Pareto
+ * front by construction, so the heuristic's only dominance source
+ * is two networks competing at one bank count — present exactly
+ * when the network axis is an explicit list with both values. The
+ * auto pairing (the fallback the prune context derives network
+ * values from when `--networks` is not given) assigns each bank
+ * count its dominant network, leaving nothing to prune; explore()
+ * warns instead of silently pruning nothing in that case.
+ */
+bool pruneCanFire(const DesignSpace &space);
 
 } // namespace ltrf::dse
 

@@ -71,9 +71,9 @@ parseDseReport(const Json &root)
 {
     const std::string schema = root.stringOr("schema", "(missing)");
     if (schema != "ltrf.dse.v1" && schema != "ltrf.dse.v2" &&
-        schema != "ltrf.dse.v3")
+        schema != "ltrf.dse.v3" && schema != "ltrf.dse.v4")
         ltrf_fatal("not an ltrf_dse report: schema \"%s\" (expected "
-                   "ltrf.dse.v1, v2, or v3)",
+                   "ltrf.dse.v1 through v4)",
                    schema.c_str());
 
     FrontierSeed seed;

@@ -58,7 +58,9 @@ struct FrontierSeed
  * Parse a DseResult::toJson() report. fatal() on an unrecognized
  * schema or malformed point entries; accepts schema ltrf.dse.v1
  * (pre-resume reports), v2 (seven-axis keys; the widened-space
- * axes take their auto/default values), and v3.
+ * axes take their auto/default values), v3 (pre-rung reports —
+ * the per-rung counters a resume ignores are simply absent), and
+ * v4.
  */
 FrontierSeed parseDseReport(const harness::Json &root);
 

@@ -31,6 +31,21 @@ parseOutputFormat(const std::string &s, OutputFormat &out)
     return false;
 }
 
+std::string
+csvField(const std::string &value)
+{
+    if (value.find_first_of(",\"\r\n") == std::string::npos)
+        return value;
+    std::string out = "\"";
+    for (char c : value) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
 void
 writeTextFile(const std::string &path, const std::string &text)
 {

@@ -44,6 +44,16 @@ void writeTextFile(const std::string &path, const std::string &text);
  */
 std::string readTextFile(const std::string &path);
 
+/**
+ * RFC 4180 CSV field quoting: a value containing a comma, a double
+ * quote, or a newline is wrapped in double quotes with embedded
+ * quotes doubled; anything else passes through verbatim. Both CSV
+ * writers (ResultSet::toCsv, DseResult::toCsv) route every field
+ * through this, so a workload or axis token with a comma in its
+ * name cannot shear a row.
+ */
+std::string csvField(const std::string &value);
+
 } // namespace ltrf::harness
 
 #endif // LTRF_HARNESS_EMIT_HH

@@ -280,7 +280,9 @@ ResultSet::toCsv() const
             if (!j.contains(key))
                 continue;
             const Json &v = j.at(key);
-            out += v.type() == Json::Type::STRING ? v.asString()
+            // Only string fields can carry CSV metacharacters; the
+            // JSON number/bool texts never contain commas or quotes.
+            out += v.type() == Json::Type::STRING ? csvField(v.asString())
                                                   : v.dump();
         }
         out += '\n';

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <functional>
 #include <thread>
+#include <utility>
 
 #include "sim/gpu.hh"
 #include "workloads/workload.hh"
@@ -56,6 +57,80 @@ runPool(const std::vector<std::function<void()>> &tasks, int jobs)
 ExperimentRunner::ExperimentRunner(int jobs)
     : num_jobs(jobs > 0 ? jobs : defaultJobs())
 {
+}
+
+ExperimentRunner::~ExperimentRunner()
+{
+    if (workers.empty())
+        return;
+    drain();
+    {
+        std::lock_guard<std::mutex> lk(pool_mu);
+        stopping = true;
+    }
+    work_ready.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+ExperimentRunner::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(pool_mu);
+            work_ready.wait(lk,
+                            [&] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return;    // stopping with nothing left to steal
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lk(pool_mu);
+            in_flight--;
+            if (in_flight == 0)
+                pool_idle.notify_all();
+        }
+    }
+}
+
+void
+ExperimentRunner::submit(std::function<void()> task)
+{
+    // Inline with one job: single-threaded runs stay synchronous (a
+    // task is finished when submit() returns), which is also what
+    // makes `--jobs 1` the reference ordering the determinism guard
+    // compares against.
+    if (num_jobs <= 1) {
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(pool_mu);
+        queue.push_back(std::move(task));
+        in_flight++;
+        // Lazy spawn under the lock: concurrent first submits must
+        // not both see an empty pool (the new workers just block on
+        // pool_mu until it is released below).
+        if (workers.empty()) {
+            workers.reserve(static_cast<std::size_t>(num_jobs));
+            for (int t = 0; t < num_jobs; t++)
+                workers.emplace_back([this] { workerLoop(); });
+        }
+    }
+    work_ready.notify_one();
+}
+
+void
+ExperimentRunner::drain()
+{
+    if (num_jobs <= 1)
+        return;    // submit() already ran everything inline
+    std::unique_lock<std::mutex> lk(pool_mu);
+    pool_idle.wait(lk, [&] { return in_flight == 0; });
 }
 
 void

@@ -4,22 +4,38 @@
  *
  * Each (workload, config) cell of a sweep is an independent Gpu
  * instance, so the runner executes cells on a fixed-size pool of
- * std::threads fed by an atomic work queue and stores each
- * SimResult at its cell's index. Results are therefore in sweep
- * order and bit-identical regardless of the job count or which
- * thread ran which cell — the property the CI determinism guard
- * (`--jobs 1` vs `--jobs 8`) checks.
+ * std::threads. Two feeding modes share the pool budget:
  *
- * When a BaselineCache is supplied, the runner first warms it for
- * every distinct workload in the sweep (as pool work, so baselines
- * also run in parallel) and then attaches baseline IPCs to every
- * row for normalization.
+ *  - Batched: run()/runTasks() drain a fixed task vector through an
+ *    atomic work queue and return when every task finished. Results
+ *    land at preassigned indices, so they are in sweep order and
+ *    bit-identical regardless of the job count — the property the
+ *    CI determinism guard (`--jobs 1` vs `--jobs 8`) checks.
+ *
+ *  - Streaming: submit()/drain() feed a persistent work-stealing
+ *    pool one task at a time. Idle workers steal the next task from
+ *    a shared queue the moment they finish their current one, so a
+ *    straggler task never gates tasks submitted after it — the
+ *    foundation of the DSE engine's cell-level pipeline, where the
+ *    next candidate batch's cells run while a previous batch's slow
+ *    cell is still simulating. Callers that need a specific task's
+ *    output synchronize on their own completion flags; drain()
+ *    waits for everything.
+ *
+ * When a BaselineCache is supplied, run() first warms it for every
+ * distinct workload in the sweep (as pool work, so baselines also
+ * run in parallel) and then attaches baseline IPCs to every row for
+ * normalization.
  */
 
 #ifndef LTRF_HARNESS_RUNNER_HH
 #define LTRF_HARNESS_RUNNER_HH
 
+#include <condition_variable>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "harness/baseline_cache.hh"
@@ -37,6 +53,12 @@ class ExperimentRunner
      *             concurrency, 1 runs inline without spawning.
      */
     explicit ExperimentRunner(int jobs = 0);
+
+    /** Joins the streaming pool after finishing submitted work. */
+    ~ExperimentRunner();
+
+    ExperimentRunner(const ExperimentRunner &) = delete;
+    ExperimentRunner &operator=(const ExperimentRunner &) = delete;
 
     /**
      * Execute every cell of @p cells (in parallel up to the job
@@ -56,10 +78,40 @@ class ExperimentRunner
      */
     void runTasks(const std::vector<std::function<void()>> &tasks) const;
 
+    /**
+     * Enqueue @p task on the streaming pool and return immediately.
+     * The pool's workers (spawned lazily on the first submit) pull
+     * tasks in submission order, but completion order is whatever
+     * the hardware gives — the task must publish its output through
+     * its own synchronization. With 1 job the task runs inline
+     * before submit() returns, which keeps single-threaded runs
+     * deterministic and debuggable.
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void drain();
+
     int jobs() const { return num_jobs; }
 
   private:
+    void workerLoop();
+
     int num_jobs;
+
+    // Streaming-pool state. The queue is deliberately simple: one
+    // mutex-guarded deque all workers steal from. Simulation cells
+    // run for milliseconds to seconds, so queue contention is noise,
+    // and a single queue keeps submission order = start order, which
+    // makes the pipeline's admission-order commits easy to reason
+    // about.
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex pool_mu;
+    std::condition_variable work_ready;
+    std::condition_variable pool_idle;
+    std::size_t in_flight = 0;    ///< queued + running tasks
+    bool stopping = false;
 };
 
 } // namespace ltrf::harness

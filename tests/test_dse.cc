@@ -287,6 +287,74 @@ TEST(Explorer, HillClimbPrunesModelDominatedNeighbors)
               NetworkKind::FLAT_BUTTERFLY);
 }
 
+TEST(Explorer, PruneCanFireOnlyWithAnExplicitNetworkPair)
+{
+    // The heuristic's only dominance source is two networks
+    // competing at one bank count. The auto pairing (the fallback
+    // the prune context derives network values from) assigns each
+    // bank count a single network, so nothing is ever dominated.
+    DesignSpace auto_nets = microSpace();
+    auto_nets.networks = {};
+    EXPECT_FALSE(pruneCanFire(auto_nets));
+
+    DesignSpace one_net = microSpace();
+    one_net.networks = {NetworkKind::FLAT_BUTTERFLY};
+    EXPECT_FALSE(pruneCanFire(one_net));
+
+    DesignSpace both = microSpace();
+    both.networks = {NetworkKind::CROSSBAR,
+                     NetworkKind::FLAT_BUTTERFLY};
+    EXPECT_TRUE(pruneCanFire(both));
+}
+
+TEST(Explorer, AutoNetworkPruningIsInactiveButHarmless)
+{
+    // Forcing --prune on an auto-network space warns (pruning is
+    // structurally inactive) but must not change any result: the
+    // same points evaluate to the same report as with pruning off.
+    ExploreOptions opt = microOptions();
+    opt.strategy = Strategy::RANDOM;
+    opt.budget = 4;
+
+    opt.prune = 1;
+    const DseResult on = explore(microSpace(), opt);
+    opt.prune = 0;
+    const DseResult off = explore(microSpace(), opt);
+
+    EXPECT_TRUE(on.prune);
+    EXPECT_EQ(on.pruned, 0u);
+    ASSERT_EQ(on.evaluated.size(), off.evaluated.size());
+    for (std::size_t i = 0; i < on.evaluated.size(); i++)
+        EXPECT_EQ(on.evaluated[i].point, off.evaluated[i].point);
+    EXPECT_EQ(on.frontier, off.frontier);
+}
+
+TEST(Explorer, ExplicitNetworkPairPrunesDominatedVariants)
+{
+    // Regression for the heuristic actually firing: with both
+    // networks enumerated, every bank organization appears twice
+    // and the dominated variant (higher latency, area, and power at
+    // the same capacity/banks) is pruned once its twin has been
+    // admitted in an earlier batch. The space must span more than
+    // one 16-point admission batch — points are never pruned
+    // against their own batch.
+    DesignSpace s = microSpace();
+    s.techs = {CellTech::HP_SRAM, CellTech::TFET_SRAM,
+               CellTech::DWM};
+    s.banks = {1, 2, 4, 8};
+    s.networks = {NetworkKind::FLAT_BUTTERFLY,
+                  NetworkKind::CROSSBAR};
+    ASSERT_TRUE(pruneCanFire(s));
+
+    ExploreOptions opt = microOptions();
+    opt.strategy = Strategy::RANDOM;
+    opt.budget = 24;    // the whole doubled space
+    opt.prune = 1;
+    const DseResult res = explore(s, opt);
+    EXPECT_GT(res.pruned, 0u);
+    EXPECT_EQ(res.evaluated.size() + res.pruned, 24u);
+}
+
 TEST(Explorer, GridDefaultsToNoPruning)
 {
     ExploreOptions opt = microOptions();

@@ -287,6 +287,155 @@ TEST(HalvingStrategy, PromoteFracSetsThePromotionCut)
     EXPECT_EQ(three.evaluated.size(), 3u);
 }
 
+// ----- Multi-rung schedules -----
+
+namespace
+{
+
+/** Four workloads so a 1 -> 2 -> all cascade has room to grow. */
+ExploreOptions
+rungOptions()
+{
+    ExploreOptions opt;
+    opt.workloads = {"bfs", "btree", "backprop", "hotspot"};
+    opt.num_sms = 1;
+    opt.seed = 2018;
+    opt.strategy = Strategy::HALVING;
+    opt.population = 6;
+    opt.generations = 1;
+    opt.rungs = {1, 2, 0};    // 0 = all
+    return opt;
+}
+
+} // namespace
+
+TEST(HalvingStrategy, RungScheduleCascadesWithPerRungCounters)
+{
+    const DseResult res = explore(smallSpace(), rungOptions());
+
+    // The whole 6-point space lands in one pool; promote_frac 0.5
+    // cuts 6 -> 3 -> 2 through the 1 / 2 / 4-workload rungs.
+    EXPECT_EQ(res.rungs, (std::vector<int>{1, 2, 4}));
+    EXPECT_EQ(res.rung_screened,
+              (std::vector<std::uint64_t>{6, 3, 2}));
+    EXPECT_EQ(res.rung_promoted,
+              (std::vector<std::uint64_t>{3, 2, 0}));
+    // Legacy counter: every sub-full-fidelity evaluation.
+    EXPECT_EQ(res.screened, 6u + 3u);
+    EXPECT_EQ(res.evaluated.size(), 2u);
+    for (const PointResult &pr : res.evaluated)
+        EXPECT_EQ(pr.gen, 1);
+
+    // Cell accounting: 4 baselines + 6x1 at rung 0 + 3 new at rung
+    // 1 (the bfs cells are reused) + 4 new at the full rung (both
+    // survivors' bfs and btree cells are reused).
+    EXPECT_EQ(res.sim_cells, 4u + 6u + 3u + 4u);
+    EXPECT_EQ(res.sim_reuse, 3u + 4u);
+
+    // Rung 0's subset is echoed as the screening workloads.
+    EXPECT_EQ(res.screen_workloads,
+              (std::vector<std::string>{"bfs"}));
+}
+
+TEST(HalvingStrategy, RungScheduleByteDeterministicAcrossJobs)
+{
+    ExploreOptions opt = rungOptions();
+    opt.generations = 2;
+
+    opt.jobs = 1;
+    const DseResult j1 = explore(smallSpace(), opt);
+    opt.jobs = 2;
+    const DseResult j2 = explore(smallSpace(), opt);
+    opt.jobs = 4;
+    const DseResult j4 = explore(smallSpace(), opt);
+
+    const std::string ref = j1.toJson().dump(2);
+    EXPECT_EQ(ref, j2.toJson().dump(2));
+    EXPECT_EQ(ref, j4.toJson().dump(2));
+    EXPECT_EQ(j1.toCsv(), j2.toCsv());
+    EXPECT_EQ(j1.toCsv(), j4.toCsv());
+    EXPECT_FALSE(j1.frontier.empty());
+}
+
+TEST(HalvingStrategy, DefaultScheduleIsTheLegacyTwoRungs)
+{
+    ExploreOptions opt = rungOptions();
+    opt.rungs.clear();    // default: [screen_count, all]
+    const DseResult res = explore(smallSpace(), opt);
+    EXPECT_EQ(res.rungs, (std::vector<int>{2, 4}));
+    ASSERT_EQ(res.rung_screened.size(), 2u);
+    ASSERT_EQ(res.rung_promoted.size(), 2u);
+    EXPECT_EQ(res.rung_screened[0], res.screened);
+    EXPECT_EQ(res.rung_promoted[0], res.rung_screened[1]);
+    EXPECT_EQ(res.rung_promoted[1], 0u);
+    EXPECT_EQ(res.rung_screened[1], res.evaluated.size());
+}
+
+TEST(HalvingStrategy, RungReportRoundTripsThroughResume)
+{
+    const DseResult saved = explore(smallSpace(), rungOptions());
+
+    ExploreOptions replay = rungOptions();
+    replay.generations = 0;
+    replay.resume = parseDseReport(saved.toJson());
+    const DseResult res = explore(smallSpace(), replay);
+    EXPECT_EQ(res.sim_cells, 0u);
+    EXPECT_EQ(res.resumed, saved.evaluated.size());
+    ASSERT_EQ(res.frontier.size(), saved.frontier.size());
+    for (std::size_t i = 0; i < res.frontier.size(); i++) {
+        const PointResult &a = saved.evaluated[static_cast<
+                std::size_t>(saved.frontier[i])];
+        const PointResult &b = res.evaluated[static_cast<
+                std::size_t>(res.frontier[i])];
+        EXPECT_EQ(a.point, b.point);
+        EXPECT_EQ(a.obj.ipc, b.obj.ipc);
+    }
+}
+
+TEST(HalvingStrategyDeathTest, RejectsNonIncreasingRungs)
+{
+    ExploreOptions opt = rungOptions();
+    opt.rungs = {2, 2, 0};
+    EXPECT_EXIT(explore(smallSpace(), opt),
+                testing::ExitedWithCode(1), "strictly increasing");
+}
+
+TEST(HalvingStrategyDeathTest, RejectsRungBeyondTheSuite)
+{
+    ExploreOptions opt = rungOptions();
+    opt.rungs = {8, 0};
+    EXPECT_EXIT(explore(smallSpace(), opt),
+                testing::ExitedWithCode(1),
+                "the active suite has 4");
+}
+
+TEST(HalvingStrategyDeathTest, RejectsScheduleNotEndingAtFullSuite)
+{
+    ExploreOptions opt = rungOptions();
+    opt.rungs = {1, 2};
+    EXPECT_EXIT(explore(smallSpace(), opt),
+                testing::ExitedWithCode(1),
+                "last rung must be the full suite");
+}
+
+TEST(HalvingStrategyDeathTest, RejectsRungsWithExplicitScreenNames)
+{
+    ExploreOptions opt = rungOptions();
+    opt.screen_workloads = {"bfs"};
+    EXPECT_EXIT(explore(smallSpace(), opt),
+                testing::ExitedWithCode(1), "mutually exclusive");
+}
+
+TEST(HalvingStrategyDeathTest, RejectsRungsForOtherStrategies)
+{
+    ExploreOptions opt = rungOptions();
+    opt.strategy = Strategy::RANDOM;
+    opt.budget = 4;
+    EXPECT_EXIT(explore(smallSpace(), opt),
+                testing::ExitedWithCode(1),
+                "only applies to the halving strategy");
+}
+
 TEST(HalvingStrategyDeathTest, RejectsPromoteFracOutsideUnitInterval)
 {
     ExploreOptions opt = microOptions();

@@ -254,6 +254,36 @@ TEST(FrontierIo, LegacySevenAxisKeysResumeIntoTheWidenedSpace)
                 << pr.point.key();
 }
 
+TEST(FrontierIo, LegacyV3ReportsResumeWithoutRungCounters)
+{
+    // A pre-rung (schema v3) report: full 10-axis keys, no
+    // rungs/rung_screened/rung_promoted arrays. Resume ignores the
+    // missing counters and replays the points untouched.
+    const harness::Json root = harness::Json::parse(
+            "{\"schema\": \"ltrf.dse.v3\", "
+            "\"strategy\": \"random\", "
+            "\"workloads\": [\"bfs\", \"btree\"], "
+            "\"num_sms\": 1, \"seed\": \"2018\", "
+            "\"points\": ["
+            "{\"key\": \"hp/b1/z1/xbar/c16/interval/w8/i16/o8/d1\", "
+            "\"ipc\": 1.0, \"energy\": 0.8, \"total_area\": 1.0, "
+            "\"frontier\": true}], "
+            "\"frontier\": [\"a\"]}");
+    const FrontierSeed seed = parseDseReport(root);
+    ASSERT_EQ(seed.points.size(), 1u);
+
+    ExploreOptions opt = microOptions();
+    opt.strategy = Strategy::EVOLVE;
+    opt.generations = 0;
+    opt.resume = seed;
+    const DseResult replay = explore(microSpace(), opt);
+    EXPECT_EQ(replay.sim_cells, 0u);
+    EXPECT_EQ(replay.resumed, 1u);
+    // The re-serialized report carries the current schema.
+    EXPECT_NE(replay.toJson().dump().find("ltrf.dse.v4"),
+              std::string::npos);
+}
+
 TEST(FrontierIoDeathTest, RejectsUnknownSchema)
 {
     harness::Json j = harness::Json::object();

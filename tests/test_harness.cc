@@ -8,10 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hh"
+#include "harness/emit.hh"
 #include "harness/json.hh"
 #include "harness/runner.hh"
 
@@ -148,6 +151,113 @@ TEST(ExperimentRunner, SameResultsForOneAndEightJobs)
     EXPECT_EQ(rs1.dumpJson(), rs8.dumpJson());
 }
 
+// ----- The streaming (submit/drain) work-stealing pool -----
+
+TEST(ExperimentRunner, SubmitDrainRunsEverySubmittedTask)
+{
+    for (int jobs : {1, 2, 4}) {
+        ExperimentRunner runner(jobs);
+        std::vector<int> slots(64, 0);
+        for (std::size_t i = 0; i < slots.size(); i++)
+            runner.submit([&slots, i] {
+                slots[i] = static_cast<int>(i) + 1;
+            });
+        runner.drain();
+        for (std::size_t i = 0; i < slots.size(); i++)
+            EXPECT_EQ(slots[i], static_cast<int>(i) + 1)
+                    << "slot " << i << " at " << jobs << " jobs";
+        // drain() is idempotent and the pool accepts more work
+        // afterwards.
+        runner.drain();
+        bool late = false;
+        runner.submit([&late] { late = true; });
+        runner.drain();
+        EXPECT_TRUE(late);
+    }
+}
+
+/**
+ * The pipeline stress case from the DSE engine, reduced to the
+ * scheduling layer it actually exercises: one artificially slow
+ * cell in a batch must not serialize the cells of the next batch.
+ * With 2 workers, one chews the slow cell while the other steals
+ * and finishes every fast cell submitted after it — so all fast
+ * completions land strictly before the slow one. Under the old
+ * batch-barrier scheduling the second batch could not even start
+ * until the slow cell finished.
+ */
+TEST(ExperimentRunner, StragglerDoesNotSerializeLaterSubmissions)
+{
+    using Clock = std::chrono::steady_clock;
+    ExperimentRunner runner(2);
+
+    Clock::time_point slow_done;
+    std::vector<Clock::time_point> fast_done(4);
+
+    // Batch 1: the straggler.
+    runner.submit([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        slow_done = Clock::now();
+    });
+    // Batch 2, admitted while batch 1 is still in flight.
+    for (std::size_t i = 0; i < fast_done.size(); i++)
+        runner.submit([&fast_done, i] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            fast_done[i] = Clock::now();
+        });
+    runner.drain();
+
+    for (std::size_t i = 0; i < fast_done.size(); i++)
+        EXPECT_LT(fast_done[i], slow_done)
+                << "fast task " << i << " was serialized behind "
+                << "the straggler";
+}
+
+/**
+ * Wall-clock makespan: the same task set finishes measurably
+ * earlier on the streaming pool than under batch barriers. The
+ * sleep schedule is chosen so the gap dwarfs scheduler noise: the
+ * barrier schedule has a guaranteed >= 450ms floor (the 300ms
+ * straggler's batch, then three 50ms rounds of the remaining
+ * batches on 2 workers), while the pipelined schedule hides all
+ * six 50ms tasks (300ms of work for the second worker) behind the
+ * straggler for a ~300ms makespan — 150ms of slack before the
+ * comparison could flip.
+ */
+TEST(ExperimentRunner, PipelineBeatsBatchBarrierMakespan)
+{
+    using Clock = std::chrono::steady_clock;
+    auto slow = [] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    };
+    auto fast = [] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    };
+
+    ExperimentRunner barrier(2);
+    const Clock::time_point b0 = Clock::now();
+    barrier.runTasks({slow, fast});
+    barrier.runTasks({fast, fast});
+    barrier.runTasks({fast, fast});
+    barrier.runTasks({fast});
+    const auto barrier_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                    Clock::now() - b0);
+
+    ExperimentRunner pipelined(2);
+    const Clock::time_point p0 = Clock::now();
+    pipelined.submit(slow);
+    for (int i = 0; i < 6; i++)
+        pipelined.submit(fast);
+    pipelined.drain();
+    const auto pipeline_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                    Clock::now() - p0);
+
+    EXPECT_GE(barrier_ms.count(), 450);
+    EXPECT_LT(pipeline_ms.count(), barrier_ms.count());
+}
+
 TEST(BaselineCache, ConcurrentRequestsAgree)
 {
     BaselineCache cache(baselineConfigFor(microSpec()),
@@ -264,6 +374,72 @@ TEST(ResultSet, CsvMirrorsJsonCells)
     EXPECT_EQ(row2.rfind("bfs,BL,6,", 0), 0u);
     EXPECT_NE(row2.find(jsonNumberText(rs.rows()[0].result.ipc)),
               std::string::npos);
+}
+
+/** Minimal RFC 4180 field splitter for the round-trip check. */
+std::vector<std::string>
+splitCsvRow(const std::string &row)
+{
+    std::vector<std::string> fields;
+    std::string cur;
+    bool quoted = false;
+    for (std::size_t i = 0; i < row.size(); i++) {
+        const char c = row[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < row.size() && row[i + 1] == '"') {
+                    cur += '"';
+                    i++;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cur += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            fields.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    fields.push_back(cur);
+    return fields;
+}
+
+TEST(ResultSet, CsvQuotesCommaAndQuoteBearingFields)
+{
+    // A workload tagged with a comma, a double quote, and a
+    // newline-free tag with both: without RFC 4180 quoting these
+    // shear the row into extra columns.
+    const std::string tricky = "bfs,variant \"hot\"";
+    ResultRow row;
+    row.cell.workload = tricky;
+    row.cell.tag = "a,b";
+    ResultSet rs;
+    rs.add(row);
+
+    const std::string csv = rs.toCsv();
+    const std::size_t nl = csv.find('\n');
+    const std::string header = csv.substr(0, nl);
+    const std::string data =
+            csv.substr(nl + 1, csv.find('\n', nl + 1) - nl - 1);
+
+    const std::vector<std::string> cols = splitCsvRow(header);
+    const std::vector<std::string> fields = splitCsvRow(data);
+    // The row still has exactly one field per column...
+    ASSERT_EQ(fields.size(), cols.size());
+    // ...and the tricky strings round-trip through the quoting.
+    EXPECT_EQ(fields[0], tricky);
+    EXPECT_EQ(fields[4], "a,b");
+    // The raw text is quoted per RFC 4180: embedded quotes doubled.
+    EXPECT_NE(csv.find("\"bfs,variant \"\"hot\"\"\""),
+              std::string::npos);
+    // Plain fields stay unquoted.
+    EXPECT_EQ(csvField("plain"), "plain");
+    EXPECT_EQ(csvField("with space"), "with space");
 }
 
 TEST(OutputFormat, ParseAndName)
