@@ -143,6 +143,19 @@ struct SimConfig
     // ----- Design selection -----
     RfDesign design = RfDesign::BL;
 
+    // ----- Simulator execution (not a hardware parameter) -----
+    /**
+     * Event-driven fast-forward: the global cycle loop jumps to the
+     * next cycle at which any SM can make progress (warp ready,
+     * activation or memory wait expiring) instead of stepping every
+     * cycle. Observationally pure: simulated results are
+     * bit-identical with it on or off (tests/test_fast_forward.cc
+     * asserts this); off is the slow per-cycle-polling reference
+     * mode. Deliberately not part of the DSE simKey — it cannot
+     * change what a design point measures.
+     */
+    bool skip_ahead = true;
+
     // ----- Derived quantities -----
 
     /** Main RF capacity in warp-wide registers (with multiplier). */

@@ -38,7 +38,10 @@ Gpu::run(Cycle max_cycles)
     // Per-SM event scheduling: an SM is stepped only at cycles where
     // it can make progress; the global clock advances to the minimum
     // pending event so idle stretches (everything waiting on memory)
-    // are skipped.
+    // are skipped. With cfg.skip_ahead off, every live SM is stepped
+    // every cycle instead — the slow reference mode the fast-forward
+    // determinism test compares against.
+    const bool skip = config.skip_ahead;
     Cycle cycle = 0;
     std::vector<Cycle> wake(sms.size(), 0);
     while (cycle < max_cycles) {
@@ -49,7 +52,7 @@ Gpu::run(Cycle max_cycles)
             if (sm.done())
                 continue;
             all_done = false;
-            if (wake[i] <= cycle) {
+            if (!skip || wake[i] <= cycle) {
                 sm.step(cycle);
                 wake[i] = sm.done() ? NEVER : sm.nextEvent(cycle);
             }
@@ -57,7 +60,8 @@ Gpu::run(Cycle max_cycles)
         }
         if (all_done)
             break;
-        cycle = (next == NEVER) ? cycle + 1 : std::max(next, cycle + 1);
+        cycle = (skip && next != NEVER) ? std::max(next, cycle + 1)
+                                        : cycle + 1;
     }
     ltrf_assert(cycle < max_cycles,
                 "simulation of '%s' exceeded %llu cycles",

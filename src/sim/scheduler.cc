@@ -20,14 +20,31 @@ void
 TwoLevelScheduler::tick(Cycle now, RegFileSystem &rf)
 {
     // Promote warps whose activation or memory wait has resolved.
-    for (Warp &w : warps) {
-        if (w.state == WarpState::ACTIVATING && w.wait_until <= now) {
-            w.state = WarpState::ACTIVE;
-            w.ready_at = std::max(w.ready_at, w.wait_until);
-        } else if (w.state == WarpState::INACTIVE_WAIT &&
-                   w.wait_until <= now) {
-            w.state = WarpState::INACTIVE_READY;
-            ready_queue.push_back(w.id);
+    // Gated on the tracked earliest transition: when nothing can
+    // promote yet, the whole warp walk is skipped. When it runs, the
+    // walk visits warps in id order exactly as an ungated scan
+    // would, so the ready queue fills in the same order.
+    if (next_transition <= now) {
+        next_transition = NEVER;
+        for (Warp &w : warps) {
+            if (w.state == WarpState::ACTIVATING) {
+                if (w.wait_until <= now) {
+                    w.state = WarpState::ACTIVE;
+                    w.ready_at = std::max(w.ready_at, w.wait_until);
+                } else {
+                    next_transition =
+                            std::min(next_transition, w.wait_until);
+                }
+            } else if (w.state == WarpState::INACTIVE_WAIT) {
+                if (w.wait_until <= now) {
+                    w.state = WarpState::INACTIVE_READY;
+                    ready_queue.push_back(w.id);
+                    num_wait--;
+                } else {
+                    next_transition =
+                            std::min(next_transition, w.wait_until);
+                }
+            }
         }
     }
 
@@ -48,6 +65,7 @@ TwoLevelScheduler::tick(Cycle now, RegFileSystem &rf)
         } else {
             w.state = WarpState::ACTIVATING;
             w.wait_until = done;
+            next_transition = std::min(next_transition, done);
         }
     }
     ltrf_assert(static_cast<int>(active.size()) == num_active_slots ||
@@ -66,6 +84,8 @@ TwoLevelScheduler::deactivate(Warp &w, Cycle until, RegFileSystem &rf,
     removeActive(w.id);
     w.state = WarpState::INACTIVE_WAIT;
     w.wait_until = until;
+    num_wait++;
+    next_transition = std::min(next_transition, until);
 }
 
 void

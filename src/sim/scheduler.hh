@@ -7,6 +7,14 @@
  * replaced by a ready inactive warp. Activation may itself take time
  * (LTRF refetches the warp's register working set), which the
  * scheduler tracks through the ACTIVATING state.
+ *
+ * The scheduler is event-gated: it tracks the earliest cycle any
+ * ACTIVATING or INACTIVE_WAIT warp can change state, so tick() only
+ * walks the warp array on cycles where a promotion is actually due
+ * instead of polling every resident warp every cycle. The walk
+ * itself is unchanged (warp-id order), so promotion order — and with
+ * it every downstream result — is bit-identical to the polling
+ * implementation.
  */
 
 #ifndef LTRF_SIM_SCHEDULER_HH
@@ -53,6 +61,18 @@ class TwoLevelScheduler
 
     int finishedCount() const { return num_finished; }
 
+    /** Warps in INACTIVE_READY (== the ready queue's occupancy). */
+    int readyCount() const { return static_cast<int>(ready_queue.size()); }
+
+    /** Warps in INACTIVE_WAIT. */
+    int waitCount() const { return num_wait; }
+
+    /**
+     * Earliest wait_until over all ACTIVATING and INACTIVE_WAIT
+     * warps (NEVER if none): the next cycle tick() can promote.
+     */
+    Cycle nextTransition() const { return next_transition; }
+
   private:
     void removeActive(WarpId id);
 
@@ -62,6 +82,9 @@ class TwoLevelScheduler
     std::deque<WarpId> ready_queue;
     int rr = 0;
     int num_finished = 0;
+    int num_wait = 0;               ///< INACTIVE_WAIT population
+    /** Min wait_until over ACTIVATING + INACTIVE_WAIT warps. */
+    Cycle next_transition = NEVER;
 };
 
 } // namespace ltrf

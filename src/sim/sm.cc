@@ -28,14 +28,13 @@ regionBase(std::uint64_t region)
 }
 
 std::vector<Warp>
-makeWarps(const CompiledWorkload &cw, int resident_warps)
+makeWarps(const CompiledWorkload &cw, int resident_warps,
+          WarpStateArena &arena)
 {
     std::vector<Warp> out;
     out.reserve(static_cast<size_t>(resident_warps));
-    for (int w = 0; w < resident_warps; w++) {
-        out.emplace_back(w, &cw.traces[w], cw.kernel().num_regs,
-                         static_cast<int>(cw.kernel().mem_streams.size()));
-    }
+    for (int w = 0; w < resident_warps; w++)
+        out.emplace_back(w, &cw.traces[w], arena);
     return out;
 }
 
@@ -45,7 +44,9 @@ Sm::Sm(int sm_id, const SimConfig &cfg, const CompiledWorkload &cw,
        MemSystem &mem_, int resident_warps)
     : id(sm_id), config(cfg), compiled(cw), mem(mem_),
       regfile(makeRegFileSystem(cfg, cw, resident_warps)),
-      warps(makeWarps(cw, resident_warps)),
+      arena(resident_warps, cw.kernel().num_regs,
+            static_cast<int>(cw.kernel().mem_streams.size())),
+      warps(makeWarps(cw, resident_warps, arena)),
       sched(cfg.num_active_warps, warps),
       collectors(static_cast<size_t>(cfg.num_operand_collectors), 0)
 {
@@ -58,11 +59,14 @@ Sm::Sm(int sm_id, const SimConfig &cfg, const CompiledWorkload &cw,
 }
 
 int
-Sm::freeCollector(Cycle now) const
+Sm::freeCollector(Cycle now, Cycle &earliest_free) const
 {
-    for (size_t i = 0; i < collectors.size(); i++)
+    earliest_free = NEVER;
+    for (size_t i = 0; i < collectors.size(); i++) {
         if (collectors[i] <= now)
             return static_cast<int>(i);
+        earliest_free = std::min(earliest_free, collectors[i]);
+    }
     return -1;
 }
 
@@ -93,12 +97,13 @@ Sm::lineFor(Warp &w, const Instruction &in)
 bool
 Sm::tryIssue(Warp &w, Cycle now)
 {
+    const Kernel &kernel = compiled.kernel();
+
     // Skip no-op PREFETCHes for free; a triggered PREFETCH blocks the
     // warp until the working set arrives and consumes the slot.
     while (!w.atEnd()) {
         const TraceRef &ref = w.trace->refs[w.pc];
-        const Instruction &in =
-                compiled.kernel().block(ref.bb).instrs[ref.idx];
+        const Instruction &in = kernel.block(ref.bb).instrs[ref.idx];
         if (in.op != Opcode::PREFETCH)
             break;
         Cycle done = regfile->prefetch(w.id, ref.bb, in, now);
@@ -111,8 +116,7 @@ Sm::tryIssue(Warp &w, Cycle now)
     ltrf_assert(!w.atEnd(), "warp %d ran past its trace", w.id);
 
     const TraceRef &ref = w.trace->refs[w.pc];
-    const Instruction &in =
-            compiled.kernel().block(ref.bb).instrs[ref.idx];
+    const Instruction &in = kernel.block(ref.bb).instrs[ref.idx];
 
     // Scoreboard: all sources ready, destination write ordered.
     Cycle dep = now;
@@ -134,10 +138,17 @@ Sm::tryIssue(Warp &w, Cycle now)
         return true;
     }
 
-    // Structural hazard: need a free operand collector.
-    int c = freeCollector(now);
+    // Structural hazard: need a free operand collector. On a stall,
+    // no issue can succeed before the earliest busy-until, so defer
+    // the next attempt to that cycle — identical issue behaviour
+    // (retries in between would all fail without touching state),
+    // but the fast-forward can now skip the stalled stretch instead
+    // of polling it.
+    Cycle earliest_free = NEVER;
+    int c = freeCollector(now, earliest_free);
     if (c < 0) {
         pipe.collector_stalls++;
+        w.ready_at = earliest_free;
         return false;
     }
 
@@ -186,23 +197,26 @@ Sm::step(Cycle now)
 {
     sched.tick(now, *regfile);
 
-    // Snapshot the pool: deactivations mutate it mid-loop.
-    std::vector<WarpId> pool = sched.activePool();
+    // Snapshot the pool: deactivations mutate it mid-loop. The
+    // assignment reuses pool_scratch's capacity, so no allocation.
+    pool_scratch = sched.activePool();
+    const std::vector<WarpId> &pool = pool_scratch;
     pipe.stepped_cycles++;
     pipe.active_warp_sum += pool.size();
-    for (const Warp &w : warps) {
-        if (w.state == WarpState::INACTIVE_READY)
-            pipe.ready_sum++;
-        else if (w.state == WarpState::INACTIVE_WAIT)
-            pipe.wait_sum++;
-    }
+    pipe.ready_sum += static_cast<std::uint64_t>(sched.readyCount());
+    pipe.wait_sum += static_cast<std::uint64_t>(sched.waitCount());
     if (pool.empty())
         return;
     int issued = 0;
     int n = static_cast<int>(pool.size());
     int start = sched.rrIndex() % n;
     for (int k = 0; k < n && issued < config.issue_width; k++) {
-        Warp &w = warps[pool[(start + k) % n]];
+        // start + k < 2n, so a conditional subtract replaces the
+        // modulo in this per-cycle loop.
+        int idx = start + k;
+        if (idx >= n)
+            idx -= n;
+        Warp &w = warps[pool[idx]];
         if (w.state != WarpState::ACTIVE || w.ready_at > now)
             continue;
         if (tryIssue(w, now))
@@ -216,28 +230,27 @@ Sm::step(Cycle now)
 Cycle
 Sm::nextEvent(Cycle now) const
 {
+    // Equivalent to scanning every resident warp, but built from the
+    // scheduler's incremental bookkeeping: the active pool holds
+    // exactly the ACTIVE/ACTIVATING warps, nextTransition() bounds
+    // every ACTIVATING/INACTIVE_WAIT wait_until from below (and the
+    // ACTIVATING ones are already covered exactly by the pool scan),
+    // and the ready queue holds exactly the INACTIVE_READY warps.
     if (done())
         return NEVER;
     Cycle e = NEVER;
-    bool pool_has_room = static_cast<int>(sched.activePool().size()) <
-                         config.num_active_warps;
-    for (const Warp &w : warps) {
-        switch (w.state) {
-          case WarpState::ACTIVE:
-            e = std::min(e, std::max(w.ready_at, now + 1));
-            break;
-          case WarpState::ACTIVATING:
-          case WarpState::INACTIVE_WAIT:
-            e = std::min(e, std::max(w.wait_until, now + 1));
-            break;
-          case WarpState::INACTIVE_READY:
-            if (pool_has_room)
-                e = std::min(e, now + 1);
-            break;
-          case WarpState::FINISHED:
-            break;
-        }
+    for (WarpId id : sched.activePool()) {
+        const Warp &w = warps[id];
+        Cycle t = w.state == WarpState::ACTIVE ? w.ready_at
+                                               : w.wait_until;
+        e = std::min(e, std::max(t, now + 1));
     }
+    if (sched.waitCount() > 0)
+        e = std::min(e, std::max(sched.nextTransition(), now + 1));
+    if (sched.readyCount() > 0 &&
+        static_cast<int>(sched.activePool().size()) <
+                config.num_active_warps)
+        e = std::min(e, now + 1);
     return e;
 }
 

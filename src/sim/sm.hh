@@ -81,8 +81,11 @@ class Sm
     /** Try to issue one instruction from @p w; true if a slot used. */
     bool tryIssue(Warp &w, Cycle now);
 
-    /** Find an operand collector free at @p now, or -1. */
-    int freeCollector(Cycle now) const;
+    /**
+     * Find an operand collector free at @p now, or -1 — in which
+     * case @p earliest_free holds the earliest cycle one frees.
+     */
+    int freeCollector(Cycle now, Cycle &earliest_free) const;
 
     /** Generate the cache-line address for a memory instruction. */
     std::uint64_t lineFor(Warp &w, const Instruction &in);
@@ -92,9 +95,15 @@ class Sm
     const CompiledWorkload &compiled;
     MemSystem &mem;
     std::unique_ptr<RegFileSystem> regfile;
+    /** SoA backing store for all warps' scoreboard/stream state;
+     *  must be constructed before (and outlive) `warps`. */
+    WarpStateArena arena;
     std::vector<Warp> warps;
     TwoLevelScheduler sched;
     std::vector<Cycle> collectors;  ///< busy-until per operand collector
+    /** Reused snapshot of the active pool (deactivations mutate the
+     *  pool mid-issue); hoisted here so step() never allocates. */
+    std::vector<WarpId> pool_scratch;
     PipeStats pipe;
 };
 

@@ -25,8 +25,10 @@ struct Rig
         cfg.design = design;
         cw = compileWorkload(kernel, cfg, 1);
         rf = makeRegFileSystem(cfg, cw, num_warps);
+        arena = std::make_unique<WarpStateArena>(num_warps,
+                                                 kernel.num_regs, 1);
         for (int i = 0; i < num_warps; i++)
-            warps.emplace_back(i, &cw.traces[i], kernel.num_regs, 1);
+            warps.emplace_back(i, &cw.traces[i], *arena);
         sched = std::make_unique<TwoLevelScheduler>(active_slots, warps);
     }
 
@@ -34,6 +36,7 @@ struct Rig
     SimConfig cfg;
     CompiledWorkload cw;
     std::unique_ptr<RegFileSystem> rf;
+    std::unique_ptr<WarpStateArena> arena;
     std::vector<Warp> warps;
     std::unique_ptr<TwoLevelScheduler> sched;
 };
