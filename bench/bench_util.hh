@@ -24,6 +24,7 @@
 #include "common/log.hh"
 #include "harness/baseline_cache.hh"
 #include "harness/result_set.hh"
+#include "obs/stall.hh"
 #include "sim/gpu.hh"
 #include "tech/rf_config.hh"
 #include "workloads/workload.hh"
@@ -173,6 +174,61 @@ printRow(const std::string &name, const std::vector<double> &vals)
     std::printf("%-16s", name.c_str());
     for (double v : vals)
         std::printf(" %12.3f", v);
+    std::printf("\n");
+}
+
+/**
+ * Print the issue-slot stall attribution for @p rf_cfg_id: one row
+ * per bucket (issued, prefetch slots, each stall cause), one column
+ * per design, as a percentage of all issue slots aggregated over
+ * every workload in @p rs. The sweep's cells must have run with
+ * SimConfig::collect_stall_stats on.
+ */
+inline void
+printStallTable(const harness::ResultSet &rs,
+                const std::vector<RfDesign> &designs, int rf_cfg_id)
+{
+    std::vector<obs::StallBreakdown> agg(designs.size());
+    for (std::size_t di = 0; di < designs.size(); di++) {
+        for (const Workload &w : WorkloadSuite::all()) {
+            const SimResult &r =
+                    rs.find(w.name, designs[di], rf_cfg_id).result;
+            ltrf_assert(r.stall_collected,
+                        "stall table needs collect_stall_stats "
+                        "(cell %s/%s)", w.name.c_str(),
+                        rfDesignName(designs[di]));
+            agg[di] += r.stall_total;
+        }
+    }
+
+    std::printf("Issue-slot attribution (%% of slots), "
+                "configuration #%d\n", rf_cfg_id);
+    std::vector<std::string> names;
+    for (RfDesign d : designs)
+        names.push_back(rfDesignName(d));
+    printHeader(names);
+    auto pct = [](std::uint64_t part, std::uint64_t whole) {
+        return whole == 0 ? 0.0
+                          : 100.0 * static_cast<double>(part) /
+                                    static_cast<double>(whole);
+    };
+    auto row = [&](const std::string &label, auto get) {
+        std::vector<double> vals;
+        for (const obs::StallBreakdown &b : agg)
+            vals.push_back(pct(get(b), b.issue_slots));
+        printRow(label, vals);
+    };
+    row("issued", [](const obs::StallBreakdown &b) {
+        return b.instructions;
+    });
+    row("prefetch slots", [](const obs::StallBreakdown &b) {
+        return b.prefetch_slots;
+    });
+    for (int c = 0; c < obs::NUM_STALL_CAUSES; c++)
+        row(obs::stallCauseName(static_cast<obs::StallCause>(c)),
+            [c](const obs::StallBreakdown &b) {
+                return b.stalls[c];
+            });
     std::printf("\n");
 }
 

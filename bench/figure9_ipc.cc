@@ -83,20 +83,36 @@ printConfig(const harness::ResultSet &rs, int rf_cfg_id)
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; i++)
+    bool stalls = false;
+    for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--config") == 0)
             printTable3();
+        if (std::strcmp(argv[i], "--stalls") == 0)
+            stalls = true;
+    }
 
     harness::SweepSpec spec = suiteSpec();
     spec.designs = DESIGNS;
     spec.rf_cfg_ids = {6, 7};
 
+    std::vector<harness::SweepCell> cells = harness::expandSweep(spec);
+    if (stalls)
+        for (harness::SweepCell &c : cells)
+            c.config.collect_stall_stats = true;
+
     harness::ExperimentRunner runner(jobsFromArgs(argc, argv));
-    harness::ResultSet rs =
-            runner.run(harness::expandSweep(spec), &globalBaselineCache());
+    harness::ResultSet rs = runner.run(cells, &globalBaselineCache());
 
     printConfig(rs, 6);
     printConfig(rs, 7);
+
+    // --stalls: where the issue slots went, per design (the latency
+    // story behind the IPC table — BL drowns in scoreboard stalls at
+    // high MRF latency, LTRF converts them into prefetch overlap).
+    if (stalls) {
+        printStallTable(rs, DESIGNS, 6);
+        printStallTable(rs, DESIGNS, 7);
+    }
 
     std::printf("Paper reference: LTRF ~= Ideal on #6 (+32%% mean IPC); "
                 "LTRF/LTRF+ +28%%/+31%% on #7;\nRFC loses ~14%% when the "

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the observability layer's
+ * overhead: end-to-end simulation with stall collection and tracing
+ * off vs on (the off case must stay at the bare-simulator speed —
+ * sinks are null-checked, not virtualized), plus the raw cost of the
+ * stat primitives and trace-sink emission.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/stats.hh"
+#include "obs/trace_sink.hh"
+#include "sim/gpu.hh"
+#include "workloads/workload.hh"
+
+using namespace ltrf;
+
+namespace
+{
+
+SimConfig
+benchConfig()
+{
+    SimConfig cfg;
+    cfg.num_sms = 2;
+    cfg.design = RfDesign::LTRF;
+    cfg.rf_capacity_mult = 8;
+    cfg.mrf_latency_mult = 6.3;
+    cfg.num_mrf_banks = 128;
+    return cfg;
+}
+
+} // namespace
+
+/** mode 0: observability off; 1: stall stats; 2: stats + trace. */
+static void
+BM_SimulateObs(benchmark::State &state)
+{
+    const Workload &w = WorkloadSuite::byName("gaussian");
+    const int mode = static_cast<int>(state.range(0));
+    SimConfig cfg = benchConfig();
+    cfg.collect_stall_stats = mode >= 1;
+
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        // A fresh sink per run keeps the event buffer from hitting
+        // the drop cap and silently cheapening later iterations.
+        obs::TraceSink sink;
+        cfg.trace = mode >= 2 ? &sink : nullptr;
+        SimResult r = simulate(cfg, w.kernel, 7);
+        instrs += r.instructions;
+        benchmark::DoNotOptimize(r.ipc);
+    }
+    state.counters["sim_instr_per_s"] = benchmark::Counter(
+            static_cast<double>(instrs), benchmark::Counter::kIsRate);
+    state.SetLabel(mode == 0 ? "obs off"
+                             : mode == 1 ? "stall stats" : "stats+trace");
+}
+BENCHMARK(BM_SimulateObs)->Arg(0)->Arg(1)->Arg(2);
+
+static void
+BM_CounterIncrement(benchmark::State &state)
+{
+    Counter c;
+    for (auto _ : state) {
+        c++;
+        benchmark::DoNotOptimize(c);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+            state.iterations()));
+}
+BENCHMARK(BM_CounterIncrement);
+
+static void
+BM_DistributionSample(benchmark::State &state)
+{
+    Distribution d;
+    std::uint64_t v = 0;
+    for (auto _ : state) {
+        d.sample(v++ & 0xffu);
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+            state.iterations()));
+}
+BENCHMARK(BM_DistributionSample);
+
+static void
+BM_TraceComplete(benchmark::State &state)
+{
+    obs::TraceSink sink(1u << 22);
+    std::uint64_t ts = 0;
+    for (auto _ : state)
+        sink.complete("span", 0, 0, ts++, 1);
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+            state.iterations()));
+}
+BENCHMARK(BM_TraceComplete);
+
+/** The disabled-sink path: one null check, nothing else. */
+static void
+BM_TraceNullCheck(benchmark::State &state)
+{
+    obs::TraceSink *sink = nullptr;
+    std::uint64_t ts = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sink);
+        if (sink)
+            sink->complete("span", 0, 0, ts, 1);
+        ts++;
+        benchmark::DoNotOptimize(ts);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+            state.iterations()));
+}
+BENCHMARK(BM_TraceNullCheck);

@@ -177,12 +177,24 @@ runCompare(const Options &opt)
                     opt.tolerance);
         return 0;
     }
-    for (const BenchRegression &r : regs)
+    for (const BenchRegression &r : regs) {
+        const double allowed = r.old_value * (1.0 - opt.tolerance);
+        const double drop =
+                r.old_value > 0.0
+                        ? (1.0 - r.new_value / r.old_value) * 100.0
+                        : 0.0;
         std::fprintf(stderr,
                      "REGRESSION: %s %s: %.3f -> %.3f (%.2fx, "
-                     "tolerance %.2f)\n",
+                     "-%.1f%%; allowed floor %.3f at tolerance "
+                     "%.2f)\n",
                      r.suite.c_str(), r.metric.c_str(), r.old_value,
-                     r.new_value, r.ratio, opt.tolerance);
+                     r.new_value, r.ratio, drop, allowed,
+                     opt.tolerance);
+    }
+    std::fprintf(stderr,
+                 "ltrf_bench: %zu metric(s) regressed beyond "
+                 "tolerance %.2f (see REGRESSION lines above)\n",
+                 regs.size(), opt.tolerance);
     return 1;
 }
 

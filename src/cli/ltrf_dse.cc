@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,7 @@
 #include "common/strutil.hh"
 #include "dse/explorer.hh"
 #include "harness/sweep.hh"
+#include "obs/trace_sink.hh"
 #include "workloads/workload.hh"
 
 using namespace ltrf;
@@ -121,6 +123,14 @@ Output:
   --quiet            suppress the frontier table
   --list             list axis values and workloads, then exit
   --help             show this message
+
+Observability (stderr / a separate file; --out is unaffected):
+  --trace PATH       record harness pool activity (per-worker cell
+                     spans, baseline fills, batch commits, rung
+                     promotions; wall-clock) as Chrome trace-event
+                     JSON to PATH
+  --progress         rate-limited stderr heartbeat of cells landed
+                     vs submitted, plus a final pool summary
 )";
 
 [[noreturn]] void
@@ -161,6 +171,7 @@ struct Options
     bool quiet = false;
     std::string out_path;
     harness::OutputFormat format = harness::OutputFormat::JSON;
+    std::string trace_path;
 };
 
 Options
@@ -428,6 +439,10 @@ parseArgs(int argc, char **argv)
             if (!harness::parseOutputFormat(v, opt.format))
                 usageError("unknown format \"" + v +
                            "\" (expected json or csv)");
+        } else if (a == "--trace") {
+            opt.trace_path = value(i);
+        } else if (a == "--progress") {
+            opt.explore.progress = true;
         } else if (a == "--quiet") {
             opt.quiet = true;
         } else if (a == "--list") {
@@ -482,6 +497,14 @@ main(int argc, char **argv)
 {
     Options opt = parseArgs(argc, argv);
 
+    // The trace sink rides through ExploreOptions; the --out report
+    // is byte-identical with or without it.
+    std::unique_ptr<obs::TraceSink> sink;
+    if (!opt.trace_path.empty()) {
+        sink = std::make_unique<obs::TraceSink>();
+        opt.explore.trace = sink.get();
+    }
+
     const auto t0 = std::chrono::steady_clock::now();
     DseResult res = explore(opt.space, opt.explore);
     const double secs =
@@ -533,5 +556,7 @@ main(int argc, char **argv)
 
     if (!opt.out_path.empty())
         harness::writeTextFile(opt.out_path, res.dumpAs(opt.format));
+    if (sink)
+        sink->write(opt.trace_path);
     return 0;
 }

@@ -19,11 +19,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/log.hh"
 #include "harness/runner.hh"
+#include "obs/stats_json.hh"
+#include "obs/trace_sink.hh"
 #include "tech/rf_config.hh"
 #include "workloads/workload.hh"
 
@@ -61,6 +64,14 @@ Output:
   --quiet            suppress the result table
   --list             list workloads and designs, then exit
   --help             show this message
+
+Observability (separate files; the --out report is unaffected):
+  --stats PATH       collect the per-cause issue-slot stall
+                     attribution and dump the hierarchical stat tree
+                     (per SM and aggregate) as JSON to PATH
+  --trace PATH       record per-warp timeline spans (prefetches,
+                     issues, stalls with cause; 1 cycle = 1 us) as
+                     Chrome trace-event JSON to PATH
 )";
 
 [[noreturn]] void
@@ -95,6 +106,8 @@ struct Options
     bool quiet = false;
     std::string out_path;
     OutputFormat format = OutputFormat::JSON;
+    std::string stats_path;
+    std::string trace_path;
 };
 
 Options
@@ -159,6 +172,10 @@ parseArgs(int argc, char **argv)
         } else if (a == "--json") {
             opt.out_path = value(i);
             opt.format = OutputFormat::JSON;
+        } else if (a == "--stats") {
+            opt.stats_path = value(i);
+        } else if (a == "--trace") {
+            opt.trace_path = value(i);
         } else if (a == "--quiet") {
             opt.quiet = true;
         } else if (a == "--list") {
@@ -200,6 +217,21 @@ main(int argc, char **argv)
     Options opt = parseArgs(argc, argv);
     std::vector<SweepCell> cells = expandSweep(opt.spec);
 
+    // Observability rides on the cells' SimConfigs; the golden
+    // ResultSet report is untouched either way.
+    std::unique_ptr<obs::TraceSink> sink;
+    if (!opt.trace_path.empty())
+        sink = std::make_unique<obs::TraceSink>();
+    if (sink || !opt.stats_path.empty()) {
+        for (SweepCell &c : cells) {
+            c.config.collect_stall_stats = !opt.stats_path.empty();
+            c.config.trace = sink.get();
+            // Disjoint pid ranges per cell: SM s of cell i shows up
+            // as process i * num_sms + s.
+            c.config.trace_pid_base = c.index * c.config.num_sms;
+        }
+    }
+
     ExperimentRunner runner(opt.jobs);
     BaselineCache baselines(baselineConfigFor(opt.spec), opt.spec.seed);
     ResultSet rs =
@@ -233,5 +265,17 @@ main(int argc, char **argv)
 
     if (!opt.out_path.empty())
         rs.writeFile(opt.out_path, opt.format);
+
+    if (!opt.stats_path.empty()) {
+        obs::HarnessMetrics hm;
+        hm.jobs = runner.jobs();
+        hm.cells = cells.size();
+        hm.queue_high_water = runner.queueHighWater();
+        hm.in_flight_high_water = runner.inFlightHighWater();
+        writeTextFile(opt.stats_path,
+                      obs::runStatsToJson(rs, hm).dump(2) + "\n");
+    }
+    if (sink)
+        sink->write(opt.trace_path);
     return 0;
 }

@@ -18,6 +18,11 @@
 namespace ltrf
 {
 
+namespace obs
+{
+class TraceSink;
+}
+
 /**
  * The register file system designs evaluated in the paper.
  *
@@ -155,6 +160,31 @@ struct SimConfig
      * change what a design point measures.
      */
     bool skip_ahead = true;
+
+    /**
+     * Collect per-cause issue-slot stall attribution (src/obs/):
+     * every slot accounted to issued / prefetch / a StallCause.
+     * Observationally pure — the attribution only reads decisions
+     * the pipeline already made — and off by default so the hot
+     * issue loop pays one predictable branch. Deliberately not part
+     * of the DSE simKey — it cannot change what a design point
+     * measures.
+     */
+    bool collect_stall_stats = false;
+
+    /**
+     * Per-warp timeline trace sink (`ltrf_run --trace`); null means
+     * tracing off. Borrowed, not owned; shared by concurrent cells
+     * (the sink is thread-safe). Not part of the DSE simKey.
+     */
+    obs::TraceSink *trace = nullptr;
+
+    /**
+     * Base of the trace pid namespace for this simulation: SM @c s
+     * appears as pid trace_pid_base + s, so multiple cells sharing
+     * one sink get disjoint process groups.
+     */
+    int trace_pid_base = 0;
 
     // ----- Derived quantities -----
 

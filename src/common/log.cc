@@ -1,12 +1,42 @@
 #include "common/log.hh"
 
 #include <cstdarg>
+#include <mutex>
+#include <set>
+#include <utility>
 #include <vector>
 
 namespace ltrf
 {
 namespace detail
 {
+
+namespace
+{
+
+/** One lock for every status line and the warn-once call-site set. */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+std::set<std::pair<const char *, int>> &
+warnOnceSeen()
+{
+    static std::set<std::pair<const char *, int>> seen;
+    return seen;
+}
+
+void
+emitLine(const char *tag, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+} // namespace
 
 std::string
 format(const char *fmt, ...)
@@ -44,13 +74,29 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    emitLine("warn", msg);
+}
+
+void
+warnOnceImpl(const char *file, int line, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    if (!warnOnceSeen().insert({file, line}).second)
+        return;
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+resetWarnOnce()
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    warnOnceSeen().clear();
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emitLine("info", msg);
 }
 
 } // namespace detail

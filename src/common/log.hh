@@ -8,6 +8,13 @@
  *            (bad configuration, invalid arguments); exits cleanly.
  * warn()   - something is modeled approximately but execution can go on.
  * inform() - a purely informational status message.
+ *
+ * warn()/inform() lines are serialized through one mutex-guarded
+ * sink, so pool workers emitting concurrently under `--jobs` cannot
+ * interleave partial lines on stderr. ltrf_warn_once() additionally
+ * dedups by call site: the first occurrence prints, repeats are
+ * swallowed (for warnings that would otherwise repeat per shard,
+ * generation, or worker).
  */
 
 #ifndef LTRF_COMMON_LOG_HH
@@ -27,6 +34,10 @@ namespace detail
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+/** warn(), deduplicated on (file, line): repeats print nothing. */
+void warnOnceImpl(const char *file, int line, const std::string &msg);
+/** Forget every warn-once call site (tests only). */
+void resetWarnOnce();
 
 /** Minimal printf-style formatter returning a std::string. */
 std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
@@ -43,6 +54,10 @@ std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 #define ltrf_warn(...) \
     ::ltrf::detail::warnImpl(::ltrf::detail::format(__VA_ARGS__))
+
+#define ltrf_warn_once(...) \
+    ::ltrf::detail::warnOnceImpl(__FILE__, __LINE__, \
+                                 ::ltrf::detail::format(__VA_ARGS__))
 
 #define ltrf_inform(...) \
     ::ltrf::detail::informImpl(::ltrf::detail::format(__VA_ARGS__))

@@ -4,10 +4,29 @@ namespace ltrf
 {
 
 void
+StatGroup::flatten(std::vector<StatLine> &out,
+                   const std::string &prefix) const
+{
+    std::string base = prefix.empty() ? name : prefix + "." + name;
+    for (const auto &[n, c] : counters)
+        out.push_back({base + "." + n, c->value()});
+    for (const auto &[n, d] : dists) {
+        out.push_back({base + "." + n + ".count", d->count()});
+        out.push_back({base + "." + n + ".sum", d->sum()});
+        out.push_back({base + "." + n + ".min", d->min()});
+        out.push_back({base + "." + n + ".max", d->max()});
+    }
+    for (const StatGroup *g : children)
+        g->flatten(out, base);
+}
+
+void
 StatGroup::dump(std::ostream &os) const
 {
-    for (const auto &[n, c] : counters)
-        os << name << "." << n << " " << c->value() << "\n";
+    std::vector<StatLine> lines;
+    flatten(lines);
+    for (const StatLine &l : lines)
+        os << l.name << " " << l.value << "\n";
 }
 
 } // namespace ltrf

@@ -2,18 +2,23 @@
  * @file
  * Lightweight named statistics, in the spirit of gem5's stats package.
  *
- * A StatGroup owns a set of named scalar counters and formula results;
- * components register their counters at construction time and the
- * harnesses dump them uniformly.
+ * A StatGroup owns a set of named scalar counters, distributions, and
+ * child groups; components register their stats at construction time
+ * and the harnesses dump them uniformly. Groups form a tree (one per
+ * SM, with register-file and scheduler child groups), flattened into
+ * dotted "parent.child.stat" names for dumping and serialization.
  */
 
 #ifndef LTRF_COMMON_STATS_HH
 #define LTRF_COMMON_STATS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/log.hh"
 
@@ -36,10 +41,67 @@ class Counter
 };
 
 /**
- * A named collection of counters.
+ * A sampled distribution: count, sum, min, and max of the observed
+ * values (mean derived). Cheap enough for per-cycle sampling.
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    void
+    sample(std::uint64_t v)
+    {
+        cnt++;
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return cnt; }
+    std::uint64_t sum() const { return sum_; }
+    /** Minimum observed value; 0 when no samples. */
+    std::uint64_t min() const { return cnt == 0 ? 0 : min_; }
+    std::uint64_t max() const { return max_; }
+
+    double
+    mean() const
+    {
+        return cnt == 0 ? 0.0
+                        : static_cast<double>(sum_) /
+                                  static_cast<double>(cnt);
+    }
+
+    void
+    reset()
+    {
+        cnt = 0;
+        sum_ = 0;
+        min_ = UINT64_MAX;
+        max_ = 0;
+    }
+
+  private:
+    std::uint64_t cnt = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = UINT64_MAX;
+    std::uint64_t max_ = 0;
+};
+
+/** One flattened "dotted.name value" stat line (see StatGroup). */
+struct StatLine
+{
+    std::string name;
+    std::uint64_t value = 0;
+};
+
+/**
+ * A named collection of counters, distributions, and child groups.
  *
- * Counters live inside the owning component; the group stores
- * pointers so that dumping and resetting can be done generically.
+ * Stats live inside the owning component; the group stores pointers
+ * so that dumping and resetting can be done generically. Dump order
+ * is deterministic: counters alphabetically, then distributions
+ * alphabetically, then children in registration order.
  */
 class StatGroup
 {
@@ -54,10 +116,40 @@ class StatGroup
     add(const std::string &stat_name, Counter *c)
     {
         ltrf_assert(c != nullptr, "null counter '%s'", stat_name.c_str());
+        ltrf_assert(dists.count(stat_name) == 0,
+                    "stat '%s' in group '%s' already a distribution",
+                    stat_name.c_str(), name.c_str());
         auto [it, inserted] = counters.emplace(stat_name, c);
         (void)it;
         ltrf_assert(inserted, "duplicate stat '%s' in group '%s'",
                     stat_name.c_str(), name.c_str());
+    }
+
+    /** Register distribution @p d under @p stat_name (unique). */
+    void
+    addDist(const std::string &stat_name, Distribution *d)
+    {
+        ltrf_assert(d != nullptr, "null distribution '%s'",
+                    stat_name.c_str());
+        ltrf_assert(counters.count(stat_name) == 0,
+                    "stat '%s' in group '%s' already a counter",
+                    stat_name.c_str(), name.c_str());
+        auto [it, inserted] = dists.emplace(stat_name, d);
+        (void)it;
+        ltrf_assert(inserted, "duplicate stat '%s' in group '%s'",
+                    stat_name.c_str(), name.c_str());
+    }
+
+    /**
+     * Register @p g as a child group; dumped under
+     * "this.child.stat". The child must outlive this group.
+     */
+    void
+    addChild(StatGroup *g)
+    {
+        ltrf_assert(g != nullptr && g != this,
+                    "bad child group in '%s'", name.c_str());
+        children.push_back(g);
     }
 
     /** Look a counter up by name; panics if missing. */
@@ -77,22 +169,36 @@ class StatGroup
         return counters.count(stat_name) > 0;
     }
 
-    /** Reset every registered counter to zero. */
+    /** Reset every registered counter and distribution (recursive). */
     void
     resetAll()
     {
         for (auto &[n, c] : counters)
             c->reset();
+        for (auto &[n, d] : dists)
+            d->reset();
+        for (StatGroup *g : children)
+            g->resetAll();
     }
 
-    /** Print "group.stat value" lines to @p os. */
+    /** Print "group.stat value" lines to @p os (recursive). */
     void dump(std::ostream &os) const;
+
+    /**
+     * Append one StatLine per stat to @p out, names prefixed with
+     * @p prefix + groupName(). Distributions flatten to four lines
+     * (.count/.sum/.min/.max). Same deterministic order as dump().
+     */
+    void flatten(std::vector<StatLine> &out,
+                 const std::string &prefix = "") const;
 
     const std::string &groupName() const { return name; }
 
   private:
     std::string name;
     std::map<std::string, Counter *> counters;
+    std::map<std::string, Distribution *> dists;
+    std::vector<StatGroup *> children;
 };
 
 } // namespace ltrf

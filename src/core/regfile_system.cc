@@ -54,6 +54,12 @@ class BaselineRf final : public RegFileSystem
         stats.main_accesses++;
     }
 
+    std::uint64_t
+    bankConflictCycles() const override
+    {
+        return mrf.conflictCycles();
+    }
+
   private:
     MainRegFile mrf;
 };
@@ -117,6 +123,12 @@ class RfcRf final : public RegFileSystem
         install(slot, w, in.dst, /*dirty=*/true);
         cache.recordWrite();
         stats.cache_accesses++;
+    }
+
+    std::uint64_t
+    bankConflictCycles() const override
+    {
+        return mrf.conflictCycles();
     }
 
   private:
@@ -352,6 +364,12 @@ class PrefetchRf final : public RegFileSystem
         warp_offsets.release(wrf.warp_offset);
         wrf.warp_offset = -1;
         wrf.wcb.setWarpOffset(-1);
+    }
+
+    std::uint64_t
+    bankConflictCycles() const override
+    {
+        return mrf.conflictCycles();
     }
 
   private:

@@ -138,6 +138,29 @@ class RegFileSystem
 
     const RfStats &rfStats() const { return stats; }
 
+    /**
+     * Total cycles operand reads spent waiting on busy MRF banks, for
+     * the stall-attribution breakdown. An auxiliary latency metric:
+     * conflicts lengthen collections (occupying collectors longer),
+     * they do not themselves consume issue slots.
+     */
+    virtual std::uint64_t bankConflictCycles() const { return 0; }
+
+    /** Register the shared activity counters into @p g (obs layer). */
+    void
+    registerStats(StatGroup &g)
+    {
+        g.add("main_accesses", &stats.main_accesses);
+        g.add("cache_accesses", &stats.cache_accesses);
+        g.add("cache_hits", &stats.cache_hits);
+        g.add("cache_misses", &stats.cache_misses);
+        g.add("wcb_accesses", &stats.wcb_accesses);
+        g.add("xfer_regs", &stats.xfer_regs);
+        g.add("prefetch_ops", &stats.prefetch_ops);
+        g.add("writeback_regs", &stats.writeback_regs);
+        g.add("prefetch_stall_cycles", &stats.prefetch_stall_cycles);
+    }
+
   protected:
     const SimConfig &config;
     const CompiledWorkload &compiled;

@@ -1,6 +1,8 @@
 #include "dse/explorer.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <deque>
@@ -13,6 +15,7 @@
 #include "common/rng.hh"
 #include "common/strutil.hh"
 #include "harness/runner.hh"
+#include "obs/trace_sink.hh"
 #include "sim/gpu.hh"
 #include "tech/energy_model.hh"
 #include "workloads/workload.hh"
@@ -90,11 +93,18 @@ struct PruneEntry
 class Evaluator
 {
   public:
+    /** The trace pid all harness pool activity lands on. */
+    static constexpr int POOL_PID = 0;
+
     Evaluator(const ExploreOptions &opt,
               std::vector<std::string> workload_names)
         : runner(opt.jobs), names(std::move(workload_names)),
-          num_sms(opt.num_sms), seed(opt.seed)
-    {}
+          num_sms(opt.num_sms), seed(opt.seed), trace(opt.trace),
+          progress(opt.progress), t0(std::chrono::steady_clock::now())
+    {
+        if (trace)
+            trace->processName(POOL_PID, "ltrf_dse harness pool");
+    }
 
     /** Workers write into cache cells the fold reads; finish them
      *  before the cache goes away. */
@@ -196,6 +206,62 @@ class Evaluator
     std::uint64_t simCells() const { return sim_cells; }
     std::uint64_t simReuse() const { return sim_reuse; }
 
+    /** Distinct simKey rows the cell cache ever created. */
+    std::uint64_t rowInserts() const { return row_inserts; }
+
+    /** Per-cell wall-time distribution (only collected when the
+     *  trace or the progress heartbeat is on). */
+    struct CellTimes
+    {
+        std::uint64_t count = 0;
+        double p50_ms = 0.0;
+        double p90_ms = 0.0;
+        double max_ms = 0.0;
+    };
+
+    CellTimes
+    cellTimes()
+    {
+        std::vector<std::uint64_t> us;
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            us = cell_us;
+        }
+        CellTimes ct;
+        ct.count = us.size();
+        if (us.empty())
+            return ct;
+        std::sort(us.begin(), us.end());
+        auto ms_at = [&](double q) {
+            const std::size_t i = std::min(
+                    us.size() - 1,
+                    static_cast<std::size_t>(
+                            q * static_cast<double>(us.size())));
+            return static_cast<double>(us[i]) / 1000.0;
+        };
+        ct.p50_ms = ms_at(0.50);
+        ct.p90_ms = ms_at(0.90);
+        ct.max_ms = static_cast<double>(us.back()) / 1000.0;
+        return ct;
+    }
+
+    /** Emit the end-of-run pool summary on stderr (--progress). */
+    void
+    informSummary()
+    {
+        const CellTimes ct = cellTimes();
+        ltrf_inform("pool: %llu cells simulated (%llu reused, %llu "
+                    "cache rows), cell wall time p50 %.1f ms / p90 "
+                    "%.1f ms / max %.1f ms, queue high-water %zu, "
+                    "in-flight high-water %zu",
+                    static_cast<unsigned long long>(sim_cells),
+                    static_cast<unsigned long long>(sim_reuse),
+                    static_cast<unsigned long long>(row_inserts),
+                    ct.p50_ms, ct.p90_ms, ct.max_ms,
+                    runner.queueHighWater(),
+                    runner.inFlightHighWater());
+    }
+
   private:
     struct CacheRow
     {
@@ -212,24 +278,86 @@ class Evaluator
             CacheRow row;
             row.cells.resize(names.size());
             it = sim_cache.emplace(key, std::move(row)).first;
+            row_inserts++;
         }
         return it->second;
     }
 
+    /** Microseconds on the observability clock: the trace's own
+     *  epoch when tracing (so spans line up with the instants the
+     *  explorer emits), this evaluator's otherwise. */
+    std::uint64_t
+    tickUs() const
+    {
+        if (trace)
+            return trace->wallUs();
+        return static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
+    }
+
     /** Submit @p cell's simulation; the task publishes its result
-     *  under the evaluator lock and wakes any collector. */
+     *  under the evaluator lock and wakes any collector. @p kind
+     *  labels the trace span ("sim" or "baseline"). */
     void
     submitCell(Cell &cell, const SimConfig &cfg,
-               const std::string &workload)
+               const std::string &workload,
+               const char *kind = "sim")
     {
-        runner.submit([this, &cell, cfg, workload] {
+        const bool timing = trace || progress;
+        if (trace) {
+            cells_submitted++;
+            trace->counter("cells in flight", POOL_PID, tickUs(),
+                           cells_submitted - cells_landed);
+        }
+        runner.submit([this, &cell, cfg, workload, kind, timing] {
+            const std::uint64_t start_us = timing ? tickUs() : 0;
             SimResult r = simulate(
                     cfg, WorkloadSuite::byName(workload).kernel, seed);
+            const std::uint64_t end_us = timing ? tickUs() : 0;
+            if (trace) {
+                const int tid = trace->workerTid();
+                {
+                    std::lock_guard<std::mutex> lk(mu);
+                    if (named_tids.insert(tid).second)
+                        trace->threadName(
+                                POOL_PID, tid,
+                                "worker " + std::to_string(tid));
+                }
+                trace->complete(
+                        (std::string(kind) + " " + workload).c_str(),
+                        POOL_PID, tid, start_us, end_us - start_us);
+            }
+            bool beat = false;
+            std::uint64_t landed = 0;
             {
                 std::lock_guard<std::mutex> lk(mu);
                 cell.result = std::move(r);
                 cell.done = true;
+                cells_landed++;
+                landed = cells_landed;
+                if (timing)
+                    cell_us.push_back(end_us - start_us);
+                if (progress && end_us >= next_beat_us) {
+                    next_beat_us = end_us + 1'000'000;
+                    beat = true;
+                }
             }
+            if (trace)
+                trace->counter("cells in flight", POOL_PID, end_us,
+                               cells_submitted >= landed
+                                       ? cells_submitted - landed
+                                       : 0);
+            if (beat)
+                ltrf_inform("progress: %llu/%llu cells landed "
+                            "(%llu reused, %.1f s)",
+                            static_cast<unsigned long long>(landed),
+                            static_cast<unsigned long long>(
+                                    sim_cells),
+                            static_cast<unsigned long long>(
+                                    sim_reuse),
+                            static_cast<double>(end_us) / 1e6);
             cell_done.notify_all();
         });
     }
@@ -246,7 +374,7 @@ class Evaluator
             cfg.design = RfDesign::BL;
             baseline_cells[w].claimed = true;
             sim_cells++;
-            submitCell(baseline_cells[w], cfg, names[w]);
+            submitCell(baseline_cells[w], cfg, names[w], "baseline");
         }
     }
 
@@ -304,13 +432,24 @@ class Evaluator
     std::vector<std::string> names;
     int num_sms;
     std::uint64_t seed;
+    obs::TraceSink *trace;
+    bool progress;
+    std::chrono::steady_clock::time_point t0;
     std::vector<BaselineRow> baselines;
     std::vector<Cell> baseline_cells;
     std::map<std::string, CacheRow> sim_cache;
     std::mutex mu;
     std::condition_variable cell_done;
-    std::uint64_t sim_cells = 0;
-    std::uint64_t sim_reuse = 0;
+    // Admission happens on one thread but workers read the counters
+    // for the heartbeat and the in-flight track, so they are atomic.
+    std::atomic<std::uint64_t> sim_cells{0};
+    std::atomic<std::uint64_t> sim_reuse{0};
+    std::atomic<std::uint64_t> cells_submitted{0};
+    std::atomic<std::uint64_t> cells_landed{0};
+    std::uint64_t row_inserts = 0;    ///< admission thread only
+    std::vector<std::uint64_t> cell_us;    ///< guarded by mu
+    std::set<int> named_tids;              ///< guarded by mu
+    std::uint64_t next_beat_us = 0;        ///< guarded by mu
 };
 
 /**
@@ -787,7 +926,7 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
         for (NetworkKind n : pruneNetworks(space))
             nets += std::string(nets.empty() ? "" : ", ") +
                     networkToken(n);
-        ltrf_warn("model-dominance pruning is enabled but cannot "
+        ltrf_warn_once("model-dominance pruning is enabled but cannot "
                   "fire: the %s network axis pairs each bank count "
                   "with a single network ({%s}), so the space holds "
                   "no model-dominated variants; pass --networks "
@@ -800,6 +939,13 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
     Evaluator ev(opt, names);
     ParetoFrontier frontier;
     std::vector<PruneEntry> prune_entries;
+
+    // Admission-thread instants (batch commits, rung promotions) get
+    // a dedicated trace lane well clear of the pool worker ids.
+    constexpr int kExplorerTid = 1000;
+    if (opt.trace)
+        opt.trace->threadName(Evaluator::POOL_PID, kExplorerTid,
+                              "explorer");
 
     // The sampled stripe of the enumeration order: all of it for an
     // unsharded run, the shard_index-th of shard_count balanced
@@ -890,6 +1036,14 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
             res.evaluated.push_back(std::move(pr));
             added.push_back(idx);
         }
+        if (opt.trace)
+            opt.trace->instant(
+                    ("commit batch " +
+                     std::to_string(batches_committed) + " (+" +
+                     std::to_string(added.size()) + " points)")
+                            .c_str(),
+                    Evaluator::POOL_PID, kExplorerTid,
+                    opt.trace->wallUs());
         return added;
     };
 
@@ -1275,6 +1429,17 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
                   for (std::size_t j = 0; j < promote; j++)
                       next.push_back(survivors[order[j]]);
                   res.rung_promoted[k] += promote;
+                  if (opt.trace)
+                      opt.trace->instant(
+                              ("gen " +
+                               std::to_string(current_gen) +
+                               " rung " + std::to_string(k) +
+                               ": promote " +
+                               std::to_string(promote) + "/" +
+                               std::to_string(survivors.size()))
+                                      .c_str(),
+                              Evaluator::POOL_PID, kExplorerTid,
+                              opt.trace->wallUs());
                   survivors = std::move(next);
                   if (k + 2 < num_rungs) {
                       // An intermediate screening rung: still below
@@ -1307,6 +1472,8 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
     res.sim_cells = ev.simCells();
     res.hv = res.progress.empty() ? 0.0
                                   : res.progress.back().hypervolume;
+    if (opt.progress)
+        ev.informSummary();
     return res;
 }
 

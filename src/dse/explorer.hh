@@ -74,6 +74,11 @@
 #include "harness/emit.hh"
 #include "harness/json.hh"
 
+namespace ltrf::obs
+{
+class TraceSink;
+}
+
 namespace ltrf::dse
 {
 
@@ -173,6 +178,24 @@ struct ExploreOptions
 
     /** Hypervolume reference point (see defaultHvRef()). */
     Objectives hv_ref = defaultHvRef();
+
+    // ----- Observability -----
+    //
+    // Neither knob reaches the report: DseResult::toJson() stays
+    // byte-identical with both on, off, or anything in between.
+
+    /**
+     * Wall-clock Chrome-trace sink for harness pool activity: one
+     * lane per pool worker with a span for every simulated cell
+     * (screens, promotions, baseline fills), instants for batch
+     * commits and rung promotions, and an in-flight-cells counter
+     * track. Null = off.
+     */
+    obs::TraceSink *trace = nullptr;
+
+    /** Rate-limited (>= 1 s apart) stderr heartbeat of cells landed
+     *  vs submitted, plus a final pool wall-time summary. */
+    bool progress = false;
 
     /**
      * Saved points to resume from (frontier_io). All of them

@@ -1,5 +1,6 @@
 #include "harness/runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
 #include <thread>
@@ -112,6 +113,8 @@ ExperimentRunner::submit(std::function<void()> task)
         std::lock_guard<std::mutex> lk(pool_mu);
         queue.push_back(std::move(task));
         in_flight++;
+        queue_hwm = std::max(queue_hwm, queue.size());
+        in_flight_hwm = std::max(in_flight_hwm, in_flight);
         // Lazy spawn under the lock: concurrent first submits must
         // not both see an empty pool (the new workers just block on
         // pool_mu until it is released below).
@@ -122,6 +125,20 @@ ExperimentRunner::submit(std::function<void()> task)
         }
     }
     work_ready.notify_one();
+}
+
+std::size_t
+ExperimentRunner::queueHighWater()
+{
+    std::lock_guard<std::mutex> lk(pool_mu);
+    return queue_hwm;
+}
+
+std::size_t
+ExperimentRunner::inFlightHighWater()
+{
+    std::lock_guard<std::mutex> lk(pool_mu);
+    return in_flight_hwm;
 }
 
 void

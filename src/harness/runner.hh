@@ -94,6 +94,15 @@ class ExperimentRunner
 
     int jobs() const { return num_jobs; }
 
+    /**
+     * Streaming-pool observability: the deepest the shared queue
+     * ever got, and the most tasks ever queued + running at once.
+     * Both 0 for purely batched (run()/runTasks()) use and with 1
+     * job (submit() runs inline).
+     */
+    std::size_t queueHighWater();
+    std::size_t inFlightHighWater();
+
   private:
     void workerLoop();
 
@@ -112,6 +121,8 @@ class ExperimentRunner
     std::condition_variable pool_idle;
     std::size_t in_flight = 0;    ///< queued + running tasks
     bool stopping = false;
+    std::size_t queue_hwm = 0;    ///< max queue depth observed
+    std::size_t in_flight_hwm = 0;///< max in_flight observed
 };
 
 } // namespace ltrf::harness

@@ -1,0 +1,21 @@
+#include "obs/stall.hh"
+
+#include "common/log.hh"
+
+namespace ltrf::obs
+{
+
+const char *
+stallCauseName(StallCause c)
+{
+    switch (c) {
+      case StallCause::SCOREBOARD:    return "scoreboard";
+      case StallCause::COLLECTOR:     return "collector";
+      case StallCause::PREFETCH_WAIT: return "prefetch_wait";
+      case StallCause::NO_READY_WARP: return "no_ready_warp";
+      case StallCause::DRAIN:         return "drain";
+    }
+    ltrf_panic("bad StallCause %d", static_cast<int>(c));
+}
+
+} // namespace ltrf::obs

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Issue-slot stall attribution (the observability layer's cycle
+ * accounting contract).
+ *
+ * Every SM issue slot — cycles x issue_width of them over a run — is
+ * attributed to exactly one bucket: an issued instruction, a
+ * triggered-PREFETCH slot (the slot a PREFETCH consumes while
+ * blocking its warp), or one of the stall causes below. DRAIN is the
+ * closing remainder: slots after an SM ran out of work while other
+ * SMs kept the global clock running. The invariant
+ *
+ *   instructions + prefetch_slots + sum(stalls) == cycles x issue_width
+ *
+ * holds per SM and in aggregate (tests/test_obs.cc asserts it), so
+ * the breakdown can be trusted as a complete account rather than a
+ * sampled profile.
+ */
+
+#ifndef LTRF_OBS_STALL_HH
+#define LTRF_OBS_STALL_HH
+
+#include <cstdint>
+
+namespace ltrf::obs
+{
+
+/** Why an issue slot went unused. Order is the reporting order. */
+enum class StallCause : std::uint8_t
+{
+    SCOREBOARD,     ///< source/destination register not ready
+    COLLECTOR,      ///< all operand collectors busy
+    PREFETCH_WAIT,  ///< warp blocked on an interval prefetch/refetch
+    NO_READY_WARP,  ///< active pool empty or smaller than issue width
+    DRAIN,          ///< SM finished; other SMs still running
+};
+
+/** Attributable causes recorded live by the SM (DRAIN is derived). */
+constexpr int NUM_LIVE_STALL_CAUSES = 4;
+constexpr int NUM_STALL_CAUSES = 5;
+
+/** Short lower-case name, e.g. "scoreboard". */
+const char *stallCauseName(StallCause c);
+
+/** Per-SM (or aggregated) issue-slot account of one simulation. */
+struct StallBreakdown
+{
+    std::uint64_t issue_slots = 0;   ///< cycles x issue_width
+    std::uint64_t instructions = 0;  ///< slots that issued (incl. EXIT)
+    std::uint64_t prefetch_slots = 0;///< slots consumed by PREFETCH
+    std::uint64_t stalls[NUM_STALL_CAUSES] = {};
+
+    /**
+     * MRF bank-conflict wait cycles: an auxiliary latency metric
+     * (conflicts lengthen operand collection, they do not block
+     * issue slots), so deliberately outside the slot sum.
+     */
+    std::uint64_t bank_conflict_cycles = 0;
+
+    std::uint64_t
+    stallSlots() const
+    {
+        std::uint64_t s = 0;
+        for (std::uint64_t v : stalls)
+            s += v;
+        return s;
+    }
+
+    /** Left side of the accounting invariant. */
+    std::uint64_t
+    accountedSlots() const
+    {
+        return instructions + prefetch_slots + stallSlots();
+    }
+
+    StallBreakdown &
+    operator+=(const StallBreakdown &o)
+    {
+        issue_slots += o.issue_slots;
+        instructions += o.instructions;
+        prefetch_slots += o.prefetch_slots;
+        for (int i = 0; i < NUM_STALL_CAUSES; i++)
+            stalls[i] += o.stalls[i];
+        bank_conflict_cycles += o.bank_conflict_cycles;
+        return *this;
+    }
+};
+
+} // namespace ltrf::obs
+
+#endif // LTRF_OBS_STALL_HH

@@ -1,0 +1,126 @@
+#include "obs/stats_json.hh"
+
+#include <string>
+
+namespace ltrf::obs
+{
+
+namespace
+{
+
+using harness::Json;
+
+std::vector<std::string>
+splitDots(const std::string &name)
+{
+    std::vector<std::string> segs;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= name.size(); i++) {
+        if (i == name.size() || name[i] == '.') {
+            segs.push_back(name.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return segs;
+}
+
+/**
+ * Lines [lo, hi) share their first @p depth segments; group
+ * consecutive runs on segment @p depth (flatten() emits children
+ * depth-first, so every group is one consecutive run).
+ */
+Json
+buildTree(const std::vector<StatLine> &lines,
+          const std::vector<std::vector<std::string>> &segs,
+          std::size_t lo, std::size_t hi, std::size_t depth)
+{
+    Json node = Json::object();
+    std::size_t i = lo;
+    while (i < hi) {
+        const std::string &key = segs[i][depth];
+        std::size_t j = i + 1;
+        while (j < hi && segs[j].size() > depth && segs[j][depth] == key)
+            j++;
+        if (j == i + 1 && segs[i].size() == depth + 1)
+            node.set(key, Json(lines[i].value));
+        else
+            node.set(key, buildTree(lines, segs, i, j, depth + 1));
+        i = j;
+    }
+    return node;
+}
+
+} // namespace
+
+Json
+breakdownToJson(const StallBreakdown &b)
+{
+    Json j = Json::object();
+    j.set("issue_slots", Json(b.issue_slots));
+    j.set("instructions", Json(b.instructions));
+    j.set("prefetch_slots", Json(b.prefetch_slots));
+    for (int c = 0; c < NUM_STALL_CAUSES; c++)
+        j.set(stallCauseName(static_cast<StallCause>(c)),
+              Json(b.stalls[c]));
+    j.set("stall_slots", Json(b.stallSlots()));
+    j.set("issue_slot_utilization",
+          Json(b.issue_slots == 0
+                       ? 0.0
+                       : static_cast<double>(b.instructions) /
+                                 static_cast<double>(b.issue_slots)));
+    j.set("bank_conflict_cycles", Json(b.bank_conflict_cycles));
+    return j;
+}
+
+Json
+statsTreeToJson(const std::vector<StatLine> &lines)
+{
+    std::vector<std::vector<std::string>> segs;
+    segs.reserve(lines.size());
+    for (const StatLine &l : lines)
+        segs.push_back(splitDots(l.name));
+    return buildTree(lines, segs, 0, lines.size(), 0);
+}
+
+Json
+runStatsToJson(const harness::ResultSet &rs, const HarnessMetrics &hm)
+{
+    Json doc = Json::object();
+    doc.set("ltrf_stats_schema", Json(STATS_SCHEMA_VERSION));
+
+    Json h = Json::object();
+    h.set("jobs", Json(hm.jobs));
+    h.set("cells", Json(static_cast<std::uint64_t>(hm.cells)));
+    h.set("queue_high_water",
+          Json(static_cast<std::uint64_t>(hm.queue_high_water)));
+    h.set("in_flight_high_water",
+          Json(static_cast<std::uint64_t>(hm.in_flight_high_water)));
+    doc.set("harness", h);
+
+    Json cells = Json::array();
+    for (const harness::ResultRow &row : rs.rows()) {
+        const SimResult &r = row.result;
+        Json c = Json::object();
+        c.set("workload", Json(row.cell.workload));
+        c.set("design", Json(rfDesignName(row.cell.design)));
+        c.set("rf_cfg_id", Json(row.cell.rf_cfg_id));
+        if (!row.cell.tag.empty())
+            c.set("tag", Json(row.cell.tag));
+        c.set("cycles", Json(static_cast<std::uint64_t>(r.cycles)));
+        c.set("issue_width", Json(row.cell.config.issue_width));
+        c.set("collected", Json(r.stall_collected));
+        if (r.stall_collected) {
+            c.set("aggregate", breakdownToJson(r.stall_total));
+            Json per_sm = Json::array();
+            for (const StallBreakdown &b : r.sm_stall)
+                per_sm.push(breakdownToJson(b));
+            c.set("per_sm", per_sm);
+            c.set("tree", statsTreeToJson(r.stats_lines));
+        }
+        cells.push(c);
+    }
+    doc.set("cells", cells);
+    return doc;
+}
+
+} // namespace ltrf::obs

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * JSON serialization of the observability stats (`ltrf_run --stats`).
+ *
+ * Lives in src/obs/ rather than src/common/ so the stats core stays
+ * free of harness includes. The emitted document is schema-versioned
+ * (`ltrf_stats_schema`) and deterministic given a deterministic
+ * simulation — but it is a *separate* file from the golden sweep
+ * reports, which must stay byte-identical with observability off.
+ */
+
+#ifndef LTRF_OBS_STATS_JSON_HH
+#define LTRF_OBS_STATS_JSON_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.hh"
+#include "harness/json.hh"
+#include "harness/result_set.hh"
+#include "obs/stall.hh"
+
+namespace ltrf::obs
+{
+
+/** Version of the `ltrf_run --stats` document layout. */
+constexpr int STATS_SCHEMA_VERSION = 1;
+
+/** One StallBreakdown as a flat object (reporting order). */
+harness::Json breakdownToJson(const StallBreakdown &b);
+
+/**
+ * Rebuild the hierarchical group tree from flattened dotted stat
+ * lines ("sm0.stall.scoreboard" -> {"sm0":{"stall":{...}}}). The
+ * lines must be in flatten() order (children depth-first).
+ */
+harness::Json statsTreeToJson(const std::vector<StatLine> &lines);
+
+/** Experiment-pool metrics riding along in the stats document. */
+struct HarnessMetrics
+{
+    int jobs = 1;
+    std::size_t cells = 0;
+    std::size_t queue_high_water = 0;
+    std::size_t in_flight_high_water = 0;
+};
+
+/**
+ * The full `--stats` document: schema version, harness metrics, and
+ * one entry per executed cell with the aggregate breakdown, per-SM
+ * breakdowns, and the hierarchical stat tree.
+ */
+harness::Json runStatsToJson(const harness::ResultSet &rs,
+                             const HarnessMetrics &hm);
+
+} // namespace ltrf::obs
+
+#endif // LTRF_OBS_STATS_JSON_HH

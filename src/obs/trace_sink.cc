@@ -1,0 +1,191 @@
+#include "obs/trace_sink.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "harness/emit.hh"
+
+namespace ltrf::obs
+{
+
+namespace
+{
+
+/** Minimal JSON string escaping (names are short ASCII labels). */
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendNum(std::string &out, std::uint64_t v)
+{
+    out += std::to_string(v);
+}
+
+} // namespace
+
+TraceSink::TraceSink(std::size_t max_events_)
+    : max_events(max_events_), t0(std::chrono::steady_clock::now())
+{
+    events.reserve(std::min<std::size_t>(max_events, 4096));
+}
+
+bool
+TraceSink::push(Event e)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (events.size() >= max_events) {
+        dropped++;
+        return false;
+    }
+    events.push_back(std::move(e));
+    return true;
+}
+
+void
+TraceSink::complete(const char *name, int pid, int tid, std::uint64_t ts,
+                    std::uint64_t dur)
+{
+    push({name, 'X', pid, tid, ts, dur});
+}
+
+void
+TraceSink::instant(const char *name, int pid, int tid, std::uint64_t ts)
+{
+    push({name, 'i', pid, tid, ts, 0});
+}
+
+void
+TraceSink::counter(const char *name, int pid, std::uint64_t ts,
+                   std::uint64_t value)
+{
+    push({name, 'C', pid, 0, ts, value});
+}
+
+void
+TraceSink::processName(int pid, const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    meta.push_back({name, 'P', pid, 0, 0, 0});
+}
+
+void
+TraceSink::threadName(int pid, int tid, const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    meta.push_back({name, 'T', pid, tid, 0, 0});
+}
+
+std::uint64_t
+TraceSink::wallUs() const
+{
+    return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+}
+
+int
+TraceSink::workerTid()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto [it, inserted] = worker_tids.emplace(
+            std::this_thread::get_id(),
+            static_cast<int>(worker_tids.size() + 1));
+    (void)inserted;
+    return it->second;
+}
+
+std::size_t
+TraceSink::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return events.size();
+}
+
+std::size_t
+TraceSink::droppedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return dropped;
+}
+
+std::string
+TraceSink::toJsonText() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    auto comma = [&] {
+        if (!first)
+            out += ',';
+        first = false;
+    };
+    for (const Event &e : meta) {
+        comma();
+        out += "{\"name\":";
+        out += e.ph == 'P' ? "\"process_name\"" : "\"thread_name\"";
+        out += ",\"ph\":\"M\",\"pid\":";
+        appendNum(out, static_cast<std::uint64_t>(e.pid));
+        out += ",\"tid\":";
+        appendNum(out, static_cast<std::uint64_t>(e.tid));
+        out += ",\"args\":{\"name\":";
+        appendEscaped(out, e.name);
+        out += "}}";
+    }
+    for (const Event &e : events) {
+        comma();
+        out += "{\"name\":";
+        appendEscaped(out, e.name);
+        out += ",\"ph\":\"";
+        out += e.ph;
+        out += "\",\"pid\":";
+        appendNum(out, static_cast<std::uint64_t>(e.pid));
+        out += ",\"tid\":";
+        appendNum(out, static_cast<std::uint64_t>(e.tid));
+        out += ",\"ts\":";
+        appendNum(out, e.ts);
+        if (e.ph == 'X') {
+            out += ",\"dur\":";
+            appendNum(out, e.dur);
+        } else if (e.ph == 'C') {
+            out += ",\"args\":{\"value\":";
+            appendNum(out, e.dur);
+            out += "}";
+        } else if (e.ph == 'i') {
+            out += ",\"s\":\"t\"";
+        }
+        out += "}";
+    }
+    out += "],\"otherData\":{\"dropped_events\":";
+    appendNum(out, dropped);
+    out += "}}\n";
+    return out;
+}
+
+void
+TraceSink::write(const std::string &path) const
+{
+    harness::writeTextFile(path, toJsonText());
+}
+
+} // namespace ltrf::obs

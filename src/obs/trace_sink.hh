@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Chrome trace-event emitter (the Trace Event Format JSON that
+ * chrome://tracing and Perfetto's legacy importer load).
+ *
+ * One TraceSink collects timeline events from many threads behind a
+ * mutex and serializes them as `{"traceEvents": [...]}` on demand.
+ * Two clock conventions share the format:
+ *   - simulator traces map 1 simulated cycle to 1 microsecond, so a
+ *     span's visual length *is* its cycle count;
+ *   - harness/DSE traces use wall-clock microseconds since sink
+ *     construction (wallUs()).
+ * Producers hold only a `TraceSink *` and guard every emission with a
+ * null check, so a disabled trace costs one predictable branch.
+ *
+ * The sink is bounded: past max_events, new events are counted as
+ * dropped instead of stored (the drop count lands in the trace
+ * metadata), so a runaway simulation cannot exhaust memory.
+ */
+
+#ifndef LTRF_OBS_TRACE_SINK_HH
+#define LTRF_OBS_TRACE_SINK_HH
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ltrf::obs
+{
+
+/** Thread-safe collector of Chrome trace-event timelines. */
+class TraceSink
+{
+  public:
+    explicit TraceSink(std::size_t max_events = 1'000'000);
+
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    /** A span [ts, ts+dur) on track (pid, tid). Zero-dur spans kept. */
+    void complete(const char *name, int pid, int tid, std::uint64_t ts,
+                  std::uint64_t dur);
+
+    /** A point event at @p ts on track (pid, tid). */
+    void instant(const char *name, int pid, int tid, std::uint64_t ts);
+
+    /** A counter track sample (rendered as a graph over time). */
+    void counter(const char *name, int pid, std::uint64_t ts,
+                 std::uint64_t value);
+
+    /** Label process @p pid in the trace UI. */
+    void processName(int pid, const std::string &name);
+
+    /** Label thread (pid, tid) in the trace UI. */
+    void threadName(int pid, int tid, const std::string &name);
+
+    /** Wall-clock microseconds since this sink was constructed. */
+    std::uint64_t wallUs() const;
+
+    /** Small stable integer id for the calling thread (pool lanes). */
+    int workerTid();
+
+    std::size_t size() const;
+    std::size_t droppedCount() const;
+
+    /** Serialize everything as trace-event JSON (one line). */
+    std::string toJsonText() const;
+
+    /** Write toJsonText() to @p path ("-" = stdout). */
+    void write(const std::string &path) const;
+
+  private:
+    struct Event
+    {
+        std::string name;
+        char ph;        ///< 'X' complete, 'i' instant, 'C' counter,
+                        ///< 'P'/'T' process/thread name metadata
+        int pid = 0;
+        int tid = 0;
+        std::uint64_t ts = 0;
+        std::uint64_t dur = 0;  ///< 'X': duration; 'C': sample value
+    };
+
+    bool push(Event e);
+
+    mutable std::mutex mu;
+    std::vector<Event> events;
+    std::vector<Event> meta;    ///< name metadata, never dropped
+    std::size_t max_events;
+    std::size_t dropped = 0;
+    std::map<std::thread::id, int> worker_tids;
+    std::chrono::steady_clock::time_point t0;
+};
+
+} // namespace ltrf::obs
+
+#endif // LTRF_OBS_TRACE_SINK_HH

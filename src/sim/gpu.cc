@@ -97,6 +97,16 @@ Gpu::run(Cycle max_cycles)
                                             static_cast<double>(reads);
     r.l1d_hit_rate = mem->l1dHitRate();
 
+    if (config.collect_stall_stats) {
+        r.stall_collected = true;
+        for (auto &sm : sms) {
+            r.sm_stall.push_back(sm->finalizeStallStats(r.cycles));
+            r.stall_total += r.sm_stall.back();
+        }
+        for (auto &sm : sms)
+            sm->flattenStats(r.stats_lines);
+    }
+
     // Per-SM activity rates: totals divided by SM count and cycles.
     double denom = static_cast<double>(config.num_sms) *
                    static_cast<double>(r.cycles ? r.cycles : 1);

@@ -12,7 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "core/compile.hh"
+#include "obs/stall.hh"
 #include "sim/sm.hh"
 
 namespace ltrf
@@ -42,6 +44,16 @@ struct SimResult
 
     /** Per-SM register file activity rates (power model input). */
     RfActivity activity;
+
+    // ----- Observability (populated iff collect_stall_stats) -----
+    /** True when the run collected the issue-slot stall account. */
+    bool stall_collected = false;
+    /** Aggregate breakdown over all SMs. */
+    obs::StallBreakdown stall_total;
+    /** Per-SM breakdowns, in SM id order. */
+    std::vector<obs::StallBreakdown> sm_stall;
+    /** Flattened hierarchical stat tree ("sm0.stall.scoreboard"). */
+    std::vector<StatLine> stats_lines;
 };
 
 /**

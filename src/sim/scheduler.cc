@@ -59,6 +59,7 @@ TwoLevelScheduler::tick(Cycle now, RegFileSystem &rf)
                     static_cast<int>(w.state));
         Cycle done = rf.activate(id, now);
         active.push_back(id);
+        stat_activations++;
         if (done <= now) {
             w.state = WarpState::ACTIVE;
             w.ready_at = std::max(w.ready_at, now);
@@ -66,6 +67,7 @@ TwoLevelScheduler::tick(Cycle now, RegFileSystem &rf)
             w.state = WarpState::ACTIVATING;
             w.wait_until = done;
             next_transition = std::min(next_transition, done);
+            stat_slow_activations++;
         }
     }
     ltrf_assert(static_cast<int>(active.size()) == num_active_slots ||
@@ -86,6 +88,7 @@ TwoLevelScheduler::deactivate(Warp &w, Cycle until, RegFileSystem &rf,
     w.wait_until = until;
     num_wait++;
     next_transition = std::min(next_transition, until);
+    stat_deactivations++;
 }
 
 void
@@ -97,6 +100,7 @@ TwoLevelScheduler::finish(Warp &w, RegFileSystem &rf, Cycle now)
     removeActive(w.id);
     w.state = WarpState::FINISHED;
     num_finished++;
+    stat_finishes++;
 }
 
 void

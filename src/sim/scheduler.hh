@@ -73,6 +73,16 @@ class TwoLevelScheduler
      */
     Cycle nextTransition() const { return next_transition; }
 
+    /** Register scheduler event counters into @p g (obs layer). */
+    void
+    registerStats(StatGroup &g)
+    {
+        g.add("activations", &stat_activations);
+        g.add("slow_activations", &stat_slow_activations);
+        g.add("deactivations", &stat_deactivations);
+        g.add("finishes", &stat_finishes);
+    }
+
   private:
     void removeActive(WarpId id);
 
@@ -85,6 +95,12 @@ class TwoLevelScheduler
     int num_wait = 0;               ///< INACTIVE_WAIT population
     /** Min wait_until over ACTIVATING + INACTIVE_WAIT warps. */
     Cycle next_transition = NEVER;
+
+    // Event counters (rare events, so unconditionally maintained).
+    Counter stat_activations;       ///< warps entering the active pool
+    Counter stat_slow_activations;  ///< activations with refetch delay
+    Counter stat_deactivations;     ///< long-latency swap-outs
+    Counter stat_finishes;          ///< warps reaching EXIT
 };
 
 } // namespace ltrf

@@ -1,9 +1,11 @@
 #include "sim/sm.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "obs/trace_sink.hh"
 
 namespace ltrf
 {
@@ -48,7 +50,11 @@ Sm::Sm(int sm_id, const SimConfig &cfg, const CompiledWorkload &cw,
             static_cast<int>(cw.kernel().mem_streams.size())),
       warps(makeWarps(cw, resident_warps, arena)),
       sched(cfg.num_active_warps, warps),
-      collectors(static_cast<size_t>(cfg.num_operand_collectors), 0)
+      collectors(static_cast<size_t>(cfg.num_operand_collectors), 0),
+      collect(cfg.collect_stall_stats), trace(cfg.trace),
+      trace_pid(cfg.trace_pid_base + sm_id),
+      stat_root("sm" + std::to_string(sm_id)), stall_group("stall"),
+      rf_group("rf"), sched_group("sched")
 {
     ltrf_assert(resident_warps >= 1 &&
                 resident_warps <= cfg.max_warps_per_sm,
@@ -56,6 +62,31 @@ Sm::Sm(int sm_id, const SimConfig &cfg, const CompiledWorkload &cw,
     ltrf_assert(static_cast<size_t>(resident_warps) <= cw.traces.size(),
                 "not enough traces for %d resident warps",
                 resident_warps);
+
+    // Stat-tree registration (once per SM; dumping is opt-in).
+    for (int c = 0; c < obs::NUM_STALL_CAUSES; c++)
+        stall_group.add(obs::stallCauseName(
+                                static_cast<obs::StallCause>(c)),
+                        &stall_counters[c]);
+    stat_root.add("issue_slots", &stat_issue_slots);
+    stat_root.add("instructions", &stat_instructions);
+    stat_root.add("prefetch_slots", &stat_prefetch_slots);
+    stat_root.addDist("issue_per_cycle", &issue_per_cycle);
+    stat_root.addDist("collector_wait", &collector_wait);
+    stat_root.addDist("mem_stall", &mem_stall);
+    stat_root.addChild(&stall_group);
+    regfile->registerStats(rf_group);
+    rf_group.add("bank_conflict_cycles", &stat_bank_conflicts);
+    stat_root.addChild(&rf_group);
+    sched.registerStats(sched_group);
+    stat_root.addChild(&sched_group);
+
+    if (trace)
+        trace->processName(
+                trace_pid,
+                cw.kernel().name + "/" +
+                        std::string(rfDesignName(cfg.design)) + " sm" +
+                        std::to_string(sm_id));
 }
 
 int
@@ -110,6 +141,10 @@ Sm::tryIssue(Warp &w, Cycle now)
         w.pc++;
         if (done > now) {
             w.ready_at = done;
+            w.last_stall = obs::StallCause::PREFETCH_WAIT;
+            if (trace)
+                trace->complete("prefetch", trace_pid, w.id, now,
+                                done - now);
             return true;
         }
     }
@@ -127,7 +162,11 @@ Sm::tryIssue(Warp &w, Cycle now)
         dep = std::max(dep, w.reg_ready[in.dst]);
     if (dep > now) {
         w.ready_at = dep;
+        w.last_stall = obs::StallCause::SCOREBOARD;
         pipe.dep_stalls++;
+        if (trace)
+            trace->complete("stall:scoreboard", trace_pid, w.id, now,
+                            dep - now);
         return false;
     }
 
@@ -149,6 +188,12 @@ Sm::tryIssue(Warp &w, Cycle now)
     if (c < 0) {
         pipe.collector_stalls++;
         w.ready_at = earliest_free;
+        w.last_stall = obs::StallCause::COLLECTOR;
+        if (collect)
+            collector_wait.sample(earliest_free - now);
+        if (trace)
+            trace->complete("stall:collector", trace_pid, w.id, now,
+                            earliest_free - now);
         return false;
     }
 
@@ -156,6 +201,8 @@ Sm::tryIssue(Warp &w, Cycle now)
     collectors[c] = ops_ready;
     w.pc++;
     w.issued++;
+    if (trace)
+        trace->complete("issue", trace_pid, w.id, now, ops_ready - now);
 
     if (isGlobalMem(in.op)) {
         MemAccessResult res = mem.accessGlobal(id, lineFor(w, in),
@@ -168,6 +215,11 @@ Sm::tryIssue(Warp &w, Cycle now)
                 regfile->writeResult(w.id, in, res.done, false);
                 sched.deactivate(w, res.done, *regfile, now);
                 pipe.deactivations++;
+                if (collect)
+                    mem_stall.sample(res.done - ops_ready);
+                if (trace)
+                    trace->complete("memwait", trace_pid, w.id,
+                                    ops_ready, res.done - ops_ready);
                 pipe.mem_stall_sum += res.done - ops_ready;
                 pipe.mem_stall_max =
                         std::max(pipe.mem_stall_max,
@@ -193,8 +245,44 @@ Sm::tryIssue(Warp &w, Cycle now)
 }
 
 void
+Sm::accountGap(Cycle now)
+{
+    // Attribute the fast-forwarded cycles since the previous step.
+    // The pool has not been re-ticked yet, so it still holds exactly
+    // the warps that were asleep across the gap; the slots go to the
+    // cause of the warp whose wake time ends the gap (what the SM
+    // was actually waiting for), or NO_READY_WARP on an empty pool.
+    if (prev_step == NEVER) {
+        prev_step = now;
+        return;
+    }
+    Cycle gap = now - prev_step - 1;
+    prev_step = now;
+    if (gap == 0)
+        return;
+    obs::StallCause cause = obs::StallCause::NO_READY_WARP;
+    Cycle best = NEVER;
+    for (WarpId wid : sched.activePool()) {
+        const Warp &w = warps[wid];
+        Cycle t = w.state == WarpState::ACTIVE ? w.ready_at
+                                               : w.wait_until;
+        if (t < best) {
+            best = t;
+            cause = w.state == WarpState::ACTIVE
+                            ? w.last_stall
+                            : obs::StallCause::PREFETCH_WAIT;
+        }
+    }
+    stall_counters[static_cast<int>(cause)] +=
+            gap * static_cast<std::uint64_t>(config.issue_width);
+}
+
+void
 Sm::step(Cycle now)
 {
+    if (collect)
+        accountGap(now);
+
     sched.tick(now, *regfile);
 
     // Snapshot the pool: deactivations mutate it mid-loop. The
@@ -205,11 +293,20 @@ Sm::step(Cycle now)
     pipe.active_warp_sum += pool.size();
     pipe.ready_sum += static_cast<std::uint64_t>(sched.readyCount());
     pipe.wait_sum += static_cast<std::uint64_t>(sched.waitCount());
-    if (pool.empty())
+    if (pool.empty()) {
+        if (collect) {
+            stall_counters[static_cast<int>(
+                    obs::StallCause::NO_READY_WARP)] +=
+                    static_cast<std::uint64_t>(config.issue_width);
+            issue_per_cycle.sample(0);
+        }
         return;
+    }
     int issued = 0;
     int n = static_cast<int>(pool.size());
     int start = sched.rrIndex() % n;
+    if (collect)
+        fail_scratch.clear();
     for (int k = 0; k < n && issued < config.issue_width; k++) {
         // start + k < 2n, so a conditional subtract replaces the
         // modulo in this per-cycle loop.
@@ -217,14 +314,37 @@ Sm::step(Cycle now)
         if (idx >= n)
             idx -= n;
         Warp &w = warps[pool[idx]];
-        if (w.state != WarpState::ACTIVE || w.ready_at > now)
+        if (w.state != WarpState::ACTIVE || w.ready_at > now) {
+            if (collect)
+                fail_scratch.push_back(
+                        w.state == WarpState::ACTIVE
+                                ? w.last_stall
+                                : obs::StallCause::PREFETCH_WAIT);
             continue;
+        }
         if (tryIssue(w, now))
             issued++;
+        else if (collect)
+            fail_scratch.push_back(w.last_stall);
     }
     pipe.issued_sum += static_cast<std::uint64_t>(issued);
     if (issued > 0)
         sched.advanceRr();
+    if (collect) {
+        issue_per_cycle.sample(static_cast<std::uint64_t>(issued));
+        // Unused slots round-robin over this cycle's failure causes
+        // (NO_READY_WARP when every pool warp issued but the pool is
+        // narrower than the issue width).
+        int unused = config.issue_width - issued;
+        for (int i = 0; i < unused; i++) {
+            obs::StallCause c =
+                    fail_scratch.empty()
+                            ? obs::StallCause::NO_READY_WARP
+                            : fail_scratch[static_cast<std::size_t>(i) %
+                                           fail_scratch.size()];
+            stall_counters[static_cast<int>(c)]++;
+        }
+    }
 }
 
 Cycle
@@ -261,6 +381,43 @@ Sm::instructionsIssued() const
     for (const Warp &w : warps)
         n += w.issued;
     return n;
+}
+
+obs::StallBreakdown
+Sm::finalizeStallStats(Cycle total_cycles)
+{
+    obs::StallBreakdown b;
+    b.issue_slots = static_cast<std::uint64_t>(total_cycles) *
+                    static_cast<std::uint64_t>(config.issue_width);
+    b.instructions = instructionsIssued();
+    // tryIssue() returns true (slot consumed) for triggered
+    // PREFETCHes without bumping Warp::issued, so the difference is
+    // exactly the slots PREFETCH occupied.
+    ltrf_assert(pipe.issued_sum >= b.instructions,
+                "issued slots below instruction count");
+    b.prefetch_slots = pipe.issued_sum - b.instructions;
+    for (int c = 0; c < obs::NUM_LIVE_STALL_CAUSES; c++)
+        b.stalls[c] = stall_counters[c].value();
+    std::uint64_t used = b.accountedSlots();
+    // The real over-count check: live attribution must never claim
+    // more slots than the run had. The remainder is DRAIN — cycles
+    // after this SM finished while others kept the clock running.
+    ltrf_assert(used <= b.issue_slots,
+                "stall attribution over-counted: %llu of %llu slots",
+                static_cast<unsigned long long>(used),
+                static_cast<unsigned long long>(b.issue_slots));
+    std::uint64_t drain = b.issue_slots - used;
+    b.stalls[static_cast<int>(obs::StallCause::DRAIN)] = drain;
+    stall_counters[static_cast<int>(obs::StallCause::DRAIN)] += drain;
+    b.bank_conflict_cycles = regfile->bankConflictCycles();
+
+    // Backfill the derived counters so the flattened tree is a
+    // complete account too.
+    stat_issue_slots += b.issue_slots;
+    stat_instructions += b.instructions;
+    stat_prefetch_slots += b.prefetch_slots;
+    stat_bank_conflicts += b.bank_conflict_cycles;
+    return b;
 }
 
 } // namespace ltrf

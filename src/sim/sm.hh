@@ -21,6 +21,7 @@
 
 #include "core/regfile_system.hh"
 #include "mem/mem_system.hh"
+#include "obs/stall.hh"
 #include "sim/scheduler.hh"
 #include "sim/warp.hh"
 
@@ -77,6 +78,24 @@ class Sm
 
     const PipeStats &pipeStats() const { return pipe; }
 
+    /**
+     * Close the stall account once the run is over: derives the
+     * DRAIN remainder against @p total_cycles (panics if the live
+     * attribution over-counted), backfills the derived counters into
+     * the stat tree, and returns this SM's breakdown. Only
+     * meaningful when collect_stall_stats was on.
+     */
+    obs::StallBreakdown finalizeStallStats(Cycle total_cycles);
+
+    /** Flatten this SM's stat tree ("smN.stall.scoreboard", ...). */
+    void
+    flattenStats(std::vector<StatLine> &out) const
+    {
+        stat_root.flatten(out);
+    }
+
+    const StatGroup &statGroup() const { return stat_root; }
+
   private:
     /** Try to issue one instruction from @p w; true if a slot used. */
     bool tryIssue(Warp &w, Cycle now);
@@ -105,6 +124,35 @@ class Sm
      *  pool mid-issue); hoisted here so step() never allocates. */
     std::vector<WarpId> pool_scratch;
     PipeStats pipe;
+
+    // ----- Observability (src/obs/) -----
+    /** Attribute the fast-forwarded gap before a step at @p now. */
+    void accountGap(Cycle now);
+
+    bool collect;            ///< config.collect_stall_stats, cached
+    obs::TraceSink *trace;   ///< null = per-warp tracing off
+    int trace_pid;           ///< trace_pid_base + sm id
+    /** Failure causes seen this cycle, in RR arbitration order;
+     *  unused issue slots are attributed round-robin over them. */
+    std::vector<obs::StallCause> fail_scratch;
+    /** Cycle of the previous step (NEVER before the first). */
+    Cycle prev_step = NEVER;
+
+    // Live stall counters (DRAIN derived in finalizeStallStats).
+    Counter stall_counters[obs::NUM_STALL_CAUSES];
+    // Derived slot counters, backfilled at finalize.
+    Counter stat_issue_slots;
+    Counter stat_instructions;
+    Counter stat_prefetch_slots;
+    Counter stat_bank_conflicts;
+    Distribution issue_per_cycle;   ///< issued per stepped cycle
+    Distribution collector_wait;    ///< collector-stall defer length
+    Distribution mem_stall;         ///< load-miss deactivation latency
+
+    StatGroup stat_root;            ///< "smN"
+    StatGroup stall_group;          ///< "smN.stall"
+    StatGroup rf_group;             ///< "smN.rf"
+    StatGroup sched_group;          ///< "smN.sched"
 };
 
 } // namespace ltrf

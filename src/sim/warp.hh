@@ -18,6 +18,7 @@
 
 #include "common/types.hh"
 #include "compiler/trace_gen.hh"
+#include "obs/stall.hh"
 
 namespace ltrf
 {
@@ -99,6 +100,10 @@ struct Warp
     std::uint32_t *stream_pos;
     /** Dynamic (non-PREFETCH) instructions issued. */
     std::uint64_t issued = 0;
+    /** Why ready_at was last pushed into the future (stall
+     *  attribution; written unconditionally — a 1-byte store — read
+     *  only when collect_stall_stats is on). */
+    obs::StallCause last_stall = obs::StallCause::SCOREBOARD;
 
     bool finished() const { return state == WarpState::FINISHED; }
     bool atEnd() const { return pc >= trace->refs.size(); }

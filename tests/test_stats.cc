@@ -59,3 +59,108 @@ TEST(Stats, DumpFormat)
     g.dump(os);
     EXPECT_EQ(os.str(), "core.cycles 42\n");
 }
+
+TEST(Stats, DistributionBasics)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.min(), 0u);    // no samples: min reads as 0
+    EXPECT_EQ(d.max(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+    d.sample(4);
+    d.sample(10);
+    d.sample(1);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_EQ(d.sum(), 15u);
+    EXPECT_EQ(d.min(), 1u);
+    EXPECT_EQ(d.max(), 10u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+}
+
+TEST(Stats, ResetAllRecursesAndClearsDistributions)
+{
+    StatGroup root("root");
+    StatGroup child("child");
+    Counter a, b;
+    Distribution d;
+    root.add("a", &a);
+    root.addDist("lat", &d);
+    child.add("b", &b);
+    root.addChild(&child);
+    a += 4;
+    b += 2;
+    d.sample(9);
+    root.resetAll();
+    EXPECT_EQ(root.value("a"), 0u);
+    EXPECT_EQ(child.value("b"), 0u);
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.min(), 0u);    // reset min must read 0, not 2^64-1
+    d.sample(7);
+    EXPECT_EQ(d.min(), 7u);
+}
+
+TEST(StatsDeathTest, DuplicateCounterNamePanics)
+{
+    StatGroup g("g");
+    Counter a, b;
+    g.add("x", &a);
+    EXPECT_DEATH(g.add("x", &b), "duplicate stat 'x'");
+}
+
+TEST(StatsDeathTest, CounterDistributionNameCollisionPanics)
+{
+    StatGroup g("g");
+    Counter a;
+    Distribution d;
+    g.add("x", &a);
+    EXPECT_DEATH(g.addDist("x", &d), "already a counter");
+    StatGroup h("h");
+    h.addDist("y", &d);
+    EXPECT_DEATH(h.add("y", &a), "already a distribution");
+}
+
+TEST(Stats, FlattenOrderingIsDeterministic)
+{
+    // Counters alphabetical, then distributions alphabetical (four
+    // lines each), then children in registration order, recursively
+    // — independent of registration order within a kind.
+    StatGroup root("sm0");
+    Counter z, a;
+    Distribution d;
+    root.add("zeta", &z);
+    root.add("alpha", &a);
+    root.addDist("mid", &d);
+    StatGroup second("second"), first("first");
+    Counter s, f;
+    second.add("s", &s);
+    first.add("f", &f);
+    root.addChild(&second);    // registration order, not name order
+    root.addChild(&first);
+    z += 1;
+    a += 2;
+    d.sample(3);
+    s += 4;
+    f += 5;
+
+    std::vector<StatLine> lines;
+    root.flatten(lines);
+    std::vector<std::string> names;
+    for (const StatLine &l : lines)
+        names.push_back(l.name);
+    const std::vector<std::string> expect = {
+            "sm0.alpha",   "sm0.zeta",     "sm0.mid.count",
+            "sm0.mid.sum", "sm0.mid.min",  "sm0.mid.max",
+            "sm0.second.s", "sm0.first.f",
+    };
+    EXPECT_EQ(names, expect);
+    EXPECT_EQ(lines[0].value, 2u);
+    EXPECT_EQ(lines[1].value, 1u);
+
+    // dump() prints exactly the flattened lines.
+    std::ostringstream os;
+    root.dump(os);
+    std::string joined;
+    for (const StatLine &l : lines)
+        joined += l.name + " " + std::to_string(l.value) + "\n";
+    EXPECT_EQ(os.str(), joined);
+}
