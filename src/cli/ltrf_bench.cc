@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/parse_num.hh"
 #include "harness/bench.hh"
 #include "harness/emit.hh"
 #include "harness/sweep.hh"
@@ -96,11 +97,10 @@ parseArgs(int argc, char **argv)
             suites = "quick";
         } else if (a == "--reps") {
             std::string v = value(i);
-            char *end = nullptr;
-            long n = std::strtol(v.c_str(), &end, 10);
-            if (v.empty() || end != v.c_str() + v.size() || n < 1)
+            int n = 0;
+            if (!parseInt(v, n) || n < 1)
                 usageError("bad --reps \"" + v + "\"");
-            opt.reps = static_cast<int>(n);
+            opt.reps = n;
         } else if (a == "--prior") {
             opt.prior_path = value(i);
         } else if (a == "--out") {
@@ -113,9 +113,7 @@ parseArgs(int argc, char **argv)
             opt.new_path = value(i);
         } else if (a == "--tolerance") {
             std::string v = value(i);
-            char *end = nullptr;
-            opt.tolerance = std::strtod(v.c_str(), &end);
-            if (v.empty() || end != v.c_str() + v.size() ||
+            if (!parseDouble(v, opt.tolerance) ||
                 opt.tolerance < 0.0 || opt.tolerance >= 1.0)
                 usageError("bad --tolerance \"" + v +
                            "\" (expected [0, 1))");

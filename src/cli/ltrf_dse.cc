@@ -17,7 +17,6 @@
  * deterministic for a given seed regardless of --jobs.
  */
 
-#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -27,9 +26,11 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/parse_num.hh"
 #include "common/strutil.hh"
 #include "dse/explorer.hh"
 #include "harness/sweep.hh"
+#include "obs/stats_json.hh"
 #include "obs/trace_sink.hh"
 #include "workloads/workload.hh"
 
@@ -116,6 +117,14 @@ Evaluation:
   --sms N            SMs to simulate (default: 4)
   --jobs N           worker threads; 0 = hardware concurrency
                      (default: 0); never changes the results
+  --cache-dir DIR    persistent simulation cache: every simulated
+                     (config, workload) cell is stored in DIR keyed
+                     by its content (sim key + workload + SM count +
+                     seed + simulator version) and reused by later
+                     runs instead of re-simulating; safe to share
+                     between concurrent shards; never changes the
+                     results (a repeated run writes a byte-identical
+                     report while simulating zero cells)
 
 Output:
   --out PATH         write the exploration report ("-" for stdout)
@@ -131,6 +140,10 @@ Observability (stderr / a separate file; --out is unaffected):
                      JSON to PATH
   --progress         rate-limited stderr heartbeat of cells landed
                      vs submitted, plus a final pool summary
+                     (includes cell-store hit/miss/store counters
+                     when --cache-dir is active)
+  --stats PATH       write the observability stat trees (the
+                     cell_store group) as JSON to PATH
 )";
 
 [[noreturn]] void
@@ -172,6 +185,7 @@ struct Options
     std::string out_path;
     harness::OutputFormat format = harness::OutputFormat::JSON;
     std::string trace_path;
+    std::string stats_path;
 };
 
 Options
@@ -195,23 +209,25 @@ parseArgs(int argc, char **argv)
             usageError(std::string(argv[i]) + " needs a value");
         return argv[++i];
     };
+    // All numeric flags go through the checked common/ parsers: a
+    // value outside the target range (e.g. --sms 4294967297, which
+    // the old strtol + static_cast<int> silently wrapped to 1) is a
+    // usage error naming the offending token, never a truncation.
     auto intValue = [&](int &i) {
         std::string v = value(i);
-        char *end = nullptr;
-        long n = std::strtol(v.c_str(), &end, 10);
-        if (end != v.c_str() + v.size() || v.empty())
+        int n = 0;
+        if (!parseInt(v, n))
             usageError("bad integer \"" + v + "\"");
-        return static_cast<int>(n);
+        return n;
     };
     auto intListFrom = [&](const std::string &v, const char *what) {
         std::vector<int> out;
         for (const std::string &s : harness::splitList(v)) {
-            char *end = nullptr;
-            long n = std::strtol(s.c_str(), &end, 10);
-            if (s.empty() || end != s.c_str() + s.size())
+            int n = 0;
+            if (!parseInt(s, n))
                 usageError("bad " + std::string(what) + " \"" + s +
                            "\"");
-            out.push_back(static_cast<int>(n));
+            out.push_back(n);
         }
         if (out.empty())
             usageError(std::string(what) + " list is empty");
@@ -283,30 +299,35 @@ parseArgs(int argc, char **argv)
             opt.space.dram_service =
                     intList(i, "DRAM service-cycle scale");
         } else if (a == "--shard") {
+            // Parse each side of I/N independently so the error can
+            // name the token that is actually malformed (the old
+            // combined strtol walk collapsed every failure into one
+            // message and left idx = -1 behind on a bad index).
             std::string v = value(i);
             const std::size_t slash = v.find('/');
-            char *end = nullptr;
-            long idx = -1, cnt = 0;
-            if (slash != std::string::npos) {
-                idx = std::strtol(v.c_str(), &end, 10);
-                const bool idx_ok = end == v.c_str() + slash;
-                cnt = std::strtol(v.c_str() + slash + 1, &end, 10);
-                if (!idx_ok || end != v.c_str() + v.size())
-                    idx = -1;
-            }
-            if (slash == std::string::npos || idx < 0 || cnt < 1 ||
-                idx >= cnt)
+            if (slash == std::string::npos)
                 usageError("bad --shard \"" + v +
                            "\" (expected I/N with 0 <= I < N)");
-            opt.explore.shard_index = static_cast<int>(idx);
-            opt.explore.shard_count = static_cast<int>(cnt);
+            const std::string idx_tok = v.substr(0, slash);
+            const std::string cnt_tok = v.substr(slash + 1);
+            int idx = 0, cnt = 0;
+            if (!parseInt(idx_tok, idx) || idx < 0)
+                usageError("bad --shard index \"" + idx_tok +
+                           "\" (expected an integer 0 <= I < N)");
+            if (!parseInt(cnt_tok, cnt) || cnt < 1)
+                usageError("bad --shard count \"" + cnt_tok +
+                           "\" (expected an integer N >= 1)");
+            if (idx >= cnt)
+                usageError("--shard index " + idx_tok +
+                           " out of range (need I < " + cnt_tok +
+                           ")");
+            opt.explore.shard_index = idx;
+            opt.explore.shard_count = cnt;
         } else if (a == "--promote-frac") {
             halving_flag_seen = "--promote-frac";
             std::string v = value(i);
-            char *end = nullptr;
-            const double f = std::strtod(v.c_str(), &end);
-            if (v.empty() || end != v.c_str() + v.size() ||
-                !(f > 0.0 && f < 1.0))
+            double f = 0.0;
+            if (!parseDouble(v, f) || !(f > 0.0 && f < 1.0))
                 usageError("--promote-frac must be a number in "
                            "(0, 1), got \"" + v + "\"");
             opt.explore.promote_frac = f;
@@ -320,13 +341,11 @@ parseArgs(int argc, char **argv)
                     opt.explore.rungs.push_back(0);
                     continue;
                 }
-                char *end = nullptr;
-                long n = std::strtol(s.c_str(), &end, 10);
-                if (s.empty() || end != s.c_str() + s.size() ||
-                    n < 1)
+                int n = 0;
+                if (!parseInt(s, n) || n < 1)
                     usageError("bad rung \"" + s + "\" (expected a "
                                "workload count >= 1 or \"all\")");
-                opt.explore.rungs.push_back(static_cast<int>(n));
+                opt.explore.rungs.push_back(n);
             }
             if (opt.explore.rungs.size() < 2)
                 usageError("--rungs needs at least two fidelity "
@@ -349,14 +368,13 @@ parseArgs(int argc, char **argv)
             halving_flag_seen = "--screen-workloads";
             saw_screen_workloads = true;
             std::string v = value(i);
-            char *end = nullptr;
-            long n = std::strtol(v.c_str(), &end, 10);
+            int n = 0;
             opt.explore.screen_workloads.clear();
-            if (!v.empty() && end == v.c_str() + v.size()) {
+            if (parseInt(v, n)) {
                 if (n < 1)
                     usageError("--screen-workloads count must be "
                                ">= 1");
-                opt.explore.screen_count = static_cast<int>(n);
+                opt.explore.screen_count = n;
             } else {
                 for (const std::string &w : harness::splitList(v)) {
                     if (!WorkloadSuite::find(w))
@@ -378,10 +396,7 @@ parseArgs(int argc, char **argv)
                            "numbers: ipc,energy,area");
             double v3[3];
             for (int k = 0; k < 3; k++) {
-                char *end = nullptr;
-                v3[k] = std::strtod(parts[k].c_str(), &end);
-                if (parts[k].empty() ||
-                    end != parts[k].c_str() + parts[k].size())
+                if (!parseDouble(parts[k], v3[k]))
                     usageError("bad --hv-ref number \"" + parts[k] +
                                "\"");
             }
@@ -389,17 +404,18 @@ parseArgs(int argc, char **argv)
             opt.explore.hv_ref.energy = v3[1];
             opt.explore.hv_ref.area = v3[2];
         } else if (a == "--budget") {
-            int n = intValue(i);
-            if (n < 0)
-                usageError("--budget must be >= 0");
-            opt.explore.budget = static_cast<std::uint64_t>(n);
+            // The budget is a uint64 all the way through (it caps a
+            // count of admitted points): a value above int range is
+            // a large budget, not a parse error, and certainly not
+            // the silent int wrap (--budget 4294967297 == 1) the old
+            // int-typed parse produced.
+            std::string v = value(i);
+            if (!parseUint64(v, opt.explore.budget))
+                usageError("bad --budget \"" + v +
+                           "\" (expected an integer >= 0)");
         } else if (a == "--seed") {
             std::string v = value(i);
-            char *end = nullptr;
-            opt.explore.seed = std::strtoull(v.c_str(), &end, 10);
-            if (v.empty() ||
-                !std::isdigit(static_cast<unsigned char>(v[0])) ||
-                end != v.c_str() + v.size())
+            if (!parseUint64(v, opt.explore.seed))
                 usageError("bad seed \"" + v + "\"");
         } else if (a == "--prune") {
             opt.explore.prune = 1;
@@ -432,6 +448,12 @@ parseArgs(int argc, char **argv)
             if (opt.explore.jobs < 0)
                 usageError("--jobs must be >= 0 (0 = hardware "
                            "concurrency)");
+        } else if (a == "--cache-dir") {
+            opt.explore.cache_dir = value(i);
+            if (opt.explore.cache_dir.empty())
+                usageError("--cache-dir needs a directory path");
+        } else if (a == "--stats") {
+            opt.stats_path = value(i);
         } else if (a == "--out") {
             opt.out_path = value(i);
         } else if (a == "--format") {
@@ -556,6 +578,16 @@ main(int argc, char **argv)
 
     if (!opt.out_path.empty())
         harness::writeTextFile(opt.out_path, res.dumpAs(opt.format));
+    if (!opt.stats_path.empty()) {
+        // The observability stat trees (currently the cell_store
+        // group) as their own schema-versioned document — a side
+        // channel like --trace, so --out stays byte-identical with
+        // or without it.
+        harness::Json doc = harness::Json::object();
+        doc.set("ltrf_stats_schema", obs::STATS_SCHEMA_VERSION);
+        doc.set("stats", obs::statsTreeToJson(res.stats_lines));
+        harness::writeTextFile(opt.stats_path, doc.dump(2) + "\n");
+    }
     if (sink)
         sink->write(opt.trace_path);
     return 0;

@@ -15,7 +15,6 @@
  * for stdout). JSON output is byte-identical for any --jobs value.
  */
 
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +23,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/parse_num.hh"
 #include "harness/runner.hh"
 #include "obs/stats_json.hh"
 #include "obs/trace_sink.hh"
@@ -124,13 +124,14 @@ parseArgs(int argc, char **argv)
             usageError(std::string(argv[i]) + " needs a value");
         return argv[++i];
     };
+    // Checked whole-string parses (common/parse_num): out-of-range
+    // values are usage errors, never silent wraps.
     auto intValue = [&](int &i) {
         std::string v = value(i);
-        char *end = nullptr;
-        long n = std::strtol(v.c_str(), &end, 10);
-        if (end != v.c_str() + v.size() || v.empty())
+        int n = 0;
+        if (!parseInt(v, n))
             usageError("bad integer \"" + v + "\"");
-        return static_cast<int>(n);
+        return n;
     };
 
     for (int i = 1; i < argc; i++) {
@@ -149,11 +150,7 @@ parseArgs(int argc, char **argv)
             opt.spec.num_active_warps = intValue(i);
         } else if (a == "--seed") {
             std::string v = value(i);
-            char *end = nullptr;
-            opt.spec.seed = std::strtoull(v.c_str(), &end, 10);
-            // strtoull accepts and wraps a leading '-'; reject it.
-            if (v.empty() || !std::isdigit(static_cast<unsigned char>(v[0])) ||
-                end != v.c_str() + v.size())
+            if (!parseUint64(v, opt.spec.seed))
                 usageError("bad seed \"" + v + "\"");
         } else if (a == "--jobs") {
             opt.jobs = intValue(i);
@@ -193,16 +190,14 @@ parseArgs(int argc, char **argv)
     opt.spec.designs = resolveDesigns(designs);
     opt.spec.rf_cfg_ids.clear();
     for (const std::string &s : splitList(rf_configs)) {
-        char *end = nullptr;
-        long id = std::strtol(s.c_str(), &end, 10);
-        if (end != s.c_str() + s.size())
+        int id = 0;
+        if (!parseInt(s, id))
             usageError("bad rf-config id \"" + s + "\"");
-        opt.spec.rf_cfg_ids.push_back(static_cast<int>(id));
+        opt.spec.rf_cfg_ids.push_back(id);
     }
     for (const std::string &s : splitList(latency_mults)) {
-        char *end = nullptr;
-        double m = std::strtod(s.c_str(), &end);
-        if (end != s.c_str() + s.size() || m <= 0.0)
+        double m = 0.0;
+        if (!parseDouble(s, m) || m <= 0.0)
             usageError("bad latency multiplier \"" + s + "\"");
         opt.spec.latency_mults.push_back(m);
     }

@@ -1,0 +1,91 @@
+#include "common/parse_num.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
+
+namespace ltrf
+{
+
+namespace
+{
+
+/**
+ * True if @p s may enter the strtol family at all: non-empty and
+ * starting with a digit or (when @p allow_minus) a minus sign.
+ * strtol itself would skip leading whitespace and accept '+'; both
+ * make "  7" or "+7" parse differently from how they were typed, so
+ * the CLIs reject them.
+ */
+bool
+leadOk(const std::string &s, bool allow_minus)
+{
+    if (s.empty())
+        return false;
+    const unsigned char c = static_cast<unsigned char>(s[0]);
+    return std::isdigit(c) || (allow_minus && s[0] == '-' &&
+                               s.size() > 1 &&
+                               std::isdigit(static_cast<unsigned char>(
+                                       s[1])));
+}
+
+} // namespace
+
+bool
+parseInt64(const std::string &s, std::int64_t &out)
+{
+    if (!leadOk(s, /*allow_minus=*/true))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(s.c_str(), &end, 10);
+    if (errno == ERANGE || end != s.c_str() + s.size())
+        return false;
+    out = static_cast<std::int64_t>(v);
+    return true;
+}
+
+bool
+parseInt(const std::string &s, int &out)
+{
+    std::int64_t v = 0;
+    if (!parseInt64(s, v) || v < INT_MIN || v > INT_MAX)
+        return false;
+    out = static_cast<int>(v);
+    return true;
+}
+
+bool
+parseUint64(const std::string &s, std::uint64_t &out)
+{
+    if (!leadOk(s, /*allow_minus=*/false))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno == ERANGE || end != s.c_str() + s.size())
+        return false;
+    out = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty() ||
+        std::isspace(static_cast<unsigned char>(s[0])))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    // ERANGE underflow to a denormal/zero is fine; overflow to an
+    // infinite value is not representable in reports and rejected.
+    if (end != s.c_str() + s.size() || !std::isfinite(v))
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace ltrf

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Checked whole-string numeric parsing for CLI flags and saved-key
+ * tokens.
+ *
+ * The raw `std::strtol` idiom the CLIs used to copy around has two
+ * silent failure modes: it saturates on ERANGE without any caller
+ * noticing (errno is never checked), and the common
+ * `static_cast<int>(long)` narrowing afterwards wraps anything
+ * outside int range — `--budget 4294967297` used to become 1. These
+ * helpers parse the *entire* string in base 10, report range
+ * violations as failures instead of clamping or wrapping, and reject
+ * the leading whitespace / '+' forms strtol quietly accepts, so a
+ * CLI error message can always name the offending token.
+ */
+
+#ifndef LTRF_COMMON_PARSE_NUM_HH
+#define LTRF_COMMON_PARSE_NUM_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ltrf
+{
+
+/**
+ * Parse @p s as a base-10 int. @return false (leaving @p out
+ * untouched) on an empty string, leading whitespace or '+', trailing
+ * characters, or a value outside [INT_MIN, INT_MAX].
+ */
+bool parseInt(const std::string &s, int &out);
+
+/** parseInt() for the full std::int64_t range. */
+bool parseInt64(const std::string &s, std::int64_t &out);
+
+/**
+ * Parse @p s as a base-10 std::uint64_t. Rejects a leading '-'
+ * (strtoull wraps negatives into huge positives), leading
+ * whitespace or '+', trailing characters, and values above 2^64-1.
+ */
+bool parseUint64(const std::string &s, std::uint64_t &out);
+
+/**
+ * Parse @p s as a finite double (strtod grammar, whole string).
+ * Rejects empty strings, leading whitespace, trailing characters,
+ * overflow to infinity, and NaN.
+ */
+bool parseDouble(const std::string &s, double &out);
+
+} // namespace ltrf
+
+#endif // LTRF_COMMON_PARSE_NUM_HH

@@ -8,12 +8,14 @@
 #include <deque>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "common/strutil.hh"
+#include "dse/cell_store.hh"
 #include "harness/runner.hh"
 #include "obs/trace_sink.hh"
 #include "sim/gpu.hh"
@@ -104,6 +106,17 @@ class Evaluator
     {
         if (trace)
             trace->processName(POOL_PID, "ltrf_dse harness pool");
+        if (!opt.cache_dir.empty()) {
+            // simKey() deliberately omits the SM count and the
+            // workload seed (the in-memory cache lives inside one
+            // run, where both are fixed); on disk they must join the
+            // entry address or runs with different parameters would
+            // poison each other.
+            store = std::make_unique<CellStore>(
+                    opt.cache_dir,
+                    "sms=" + std::to_string(num_sms) +
+                            "|seed=" + std::to_string(seed));
+        }
     }
 
     /** Workers write into cache cells the fold reads; finish them
@@ -260,7 +273,23 @@ class Evaluator
                     ct.p50_ms, ct.p90_ms, ct.max_ms,
                     runner.queueHighWater(),
                     runner.inFlightHighWater());
+        if (store) {
+            // Misses are the cells this run actually simulated; a
+            // fully warm store reports "0 misses, 0 stores" (CI's
+            // cache-reuse smoke greps this line).
+            const CellStore::Counts c = store->counts();
+            ltrf_inform("cell store: %llu hits, %llu misses, %llu "
+                        "stores, %llu errors (%s)",
+                        static_cast<unsigned long long>(c.hits),
+                        static_cast<unsigned long long>(c.misses),
+                        static_cast<unsigned long long>(c.stores),
+                        static_cast<unsigned long long>(c.errors),
+                        store->dir().c_str());
+        }
     }
+
+    /** The persistent cell store, or null when cache_dir is off. */
+    const CellStore *cellStore() const { return store.get(); }
 
   private:
     struct CacheRow
@@ -313,8 +342,29 @@ class Evaluator
         }
         runner.submit([this, &cell, cfg, workload, kind, timing] {
             const std::uint64_t start_us = timing ? tickUs() : 0;
-            SimResult r = simulate(
-                    cfg, WorkloadSuite::byName(workload).kernel, seed);
+            // Persistent store first: a hit replaces the whole
+            // simulation. simulate() is a pure seeded function of
+            // (cfg, kernel, seed) and the stored numbers round-trip
+            // exactly, so a loaded cell folds bit-identically to a
+            // fresh one — the committed report cannot tell them
+            // apart.
+            SimResult r;
+            bool from_store = false;
+            if (store) {
+                const std::string skey = simKey(cfg);
+                from_store = store->load(skey, workload, r);
+                if (!from_store) {
+                    r = simulate(cfg,
+                                 WorkloadSuite::byName(workload).kernel,
+                                 seed);
+                    store->store(skey, workload, r);
+                } else {
+                    r.design = cfg.design;
+                }
+            } else {
+                r = simulate(cfg, WorkloadSuite::byName(workload).kernel,
+                             seed);
+            }
             const std::uint64_t end_us = timing ? tickUs() : 0;
             if (trace) {
                 const int tid = trace->workerTid();
@@ -326,7 +376,10 @@ class Evaluator
                                 "worker " + std::to_string(tid));
                 }
                 trace->complete(
-                        (std::string(kind) + " " + workload).c_str(),
+                        (std::string(kind) +
+                         (from_store ? " [store hit] " : " ") +
+                         workload)
+                                .c_str(),
                         POOL_PID, tid, start_us, end_us - start_us);
             }
             bool beat = false;
@@ -430,6 +483,9 @@ class Evaluator
 
     harness::ExperimentRunner runner;
     std::vector<std::string> names;
+    /** Persistent cell store (null = off). Internally locked; the
+     *  worker tasks use it without taking mu. */
+    std::unique_ptr<CellStore> store;
     int num_sms;
     std::uint64_t seed;
     obs::TraceSink *trace;
@@ -1087,6 +1143,39 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
         return commitAll();
     };
 
+    // ----- Streaming admission (GRID, RANDOM): candidates arrive
+    // one at a time from a generator (a PointCursor or an RNG) and
+    // are admitted in exactly the POINT_BATCH slices beginAll()
+    // would have cut from the materialized list, so admission order
+    // — and therefore every committed byte — is unchanged; but the
+    // pipeline is drained whenever it exceeds a fixed depth, so peak
+    // memory is bounded by the depth, not the candidate count. -----
+
+    /** Admitted-but-uncommitted batches the stream tolerates before
+     *  draining. Deep enough that the pool never starves (depth x
+     *  POINT_BATCH cells in flight), fixed so a 10^7-point walk
+     *  holds 10^7 / POINT_BATCH tickets never. */
+    constexpr std::size_t MAX_STREAM_DEPTH = 64;
+    std::vector<DesignPoint> stream_batch;
+    auto streamPush = [&](const DesignPoint &p) {
+        stream_batch.push_back(p);
+        if (stream_batch.size() == POINT_BATCH) {
+            considered += stream_batch.size();
+            admitBatch(stream_batch);
+            stream_batch.clear();
+            while (pipeline.size() > MAX_STREAM_DEPTH)
+                commitBatch();
+        }
+    };
+    auto streamFlush = [&]() {
+        if (!stream_batch.empty()) {
+            considered += stream_batch.size();
+            admitBatch(stream_batch);
+            stream_batch.clear();
+        }
+        commitAll();
+    };
+
     auto recordProgress = [&](int gen) {
         DseResult::GenStat s;
         s.gen = gen;
@@ -1147,24 +1236,45 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
     switch (opt.strategy) {
       case Strategy::GRID: {
           // Stripe enumeration order, skipping resumed points, up
-          // to the budget.
-          std::vector<DesignPoint> cands;
-          for (std::uint64_t i = 0; i < stripe_size; i++) {
-              if (opt.budget && cands.size() >= opt.budget)
-                  break;
-              DesignPoint p = space.pointAt(stripe_lo + i);
-              if (seen.insert(p.key()).second) {
-                  in_stripe_seen++;
-                  cands.push_back(p);
-              }
+          // to the budget — streamed from a cursor, so walking a
+          // 10^7-point space with (or without) a budget never
+          // materializes the stripe. `seen` is only *checked* here:
+          // grid enumeration cannot yield a key twice and no later
+          // phase reads the set, so inserting every admitted key
+          // would grow it with the stripe for nothing.
+          PointCursor cur(space, stripe_lo, stripe_size);
+          std::uint64_t admitted = 0;
+          for (DesignPoint p;
+               (!opt.budget || admitted < opt.budget) && cur.next(p);) {
+              if (seen.count(p.key()))
+                  continue;
+              admitted++;
+              streamPush(p);
           }
-          processAll(cands);
+          streamFlush();
           recordProgress(0);
           break;
       }
       case Strategy::RANDOM: {
+          // The exact draw/acceptance sequence of
+          // sampleDistinct(rng, budget) — same attempt cap, same
+          // dedup against `seen` — with each accepted point admitted
+          // immediately instead of collected first.
           Rng rng(opt.seed);
-          processAll(sampleDistinct(rng, opt.budget));
+          const std::uint64_t want = opt.budget;
+          std::uint64_t got = 0, attempts = 0;
+          const std::uint64_t max_attempts = want * 64 + 1024;
+          while (got < want && in_stripe_seen < stripe_size &&
+                 attempts++ < max_attempts) {
+              DesignPoint p = space.pointAt(
+                      stripe_lo + rng.nextBounded(stripe_size));
+              if (!seen.insert(p.key()).second)
+                  continue;
+              in_stripe_seen++;
+              got++;
+              streamPush(p);
+          }
+          streamFlush();
           recordProgress(0);
           break;
       }
@@ -1470,6 +1580,14 @@ explore(const DesignSpace &space, const ExploreOptions &opt)
     }
     res.sim_reuse = ev.simReuse();
     res.sim_cells = ev.simCells();
+    if (const CellStore *cs = ev.cellStore()) {
+        const CellStore::Counts c = cs->counts();
+        res.store_hits = c.hits;
+        res.store_misses = c.misses;
+        res.store_stores = c.stores;
+        res.store_errors = c.errors;
+        cs->stats().flatten(res.stats_lines);
+    }
     res.hv = res.progress.empty() ? 0.0
                                   : res.progress.back().hypervolume;
     if (opt.progress)

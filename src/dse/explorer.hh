@@ -58,6 +58,17 @@
  * while a previous rung's promotions finish), yet the committed
  * result, and its serialized form, is byte-identical for any
  * `--jobs` value.
+ *
+ * GRID and RANDOM admit from streaming generators (a PointCursor
+ * over the stripe, the sampling RNG) against a bounded pipeline
+ * depth instead of materializing their candidate lists, so peak
+ * memory is independent of the space size; the admission sequence —
+ * and therefore every committed byte — is identical to the
+ * materializing formulation. With ExploreOptions::cache_dir set,
+ * each admitted cell is additionally served from / persisted to an
+ * on-disk content-addressed store, replacing re-simulation across
+ * processes without touching the report (a loaded cell folds
+ * bit-identically to a fresh one).
  */
 
 #ifndef LTRF_DSE_EXPLORER_HH
@@ -67,6 +78,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "dse/frontier_io.hh"
 #include "dse/hypervolume.hh"
 #include "dse/pareto.hh"
@@ -198,6 +210,21 @@ struct ExploreOptions
     bool progress = false;
 
     /**
+     * Directory of the persistent cell store (dse/cell_store);
+     * empty = off. Every (simKey, workload) cell a worker would
+     * simulate is first looked up on disk and stored after
+     * simulating, so a repeated run — same space, workloads, SM
+     * count, and seed — performs zero simulations. Entries are
+     * addressed by content (simKey + workload + SM/seed context +
+     * simulator version), so runs with different parameters share a
+     * directory without mixing results, and a simulator upgrade
+     * invalidates stale entries passively. Like trace/progress, the
+     * store never reaches the report: DseResult::toJson() is
+     * byte-identical with a cold store, a warm store, or none.
+     */
+    std::string cache_dir;
+
+    /**
      * Saved points to resume from (frontier_io). All of them
      * re-seed the frontier with their saved objectives — no
      * re-simulation — and the in-space ones join EVOLVE's initial
@@ -271,6 +298,22 @@ struct DseResult
     std::uint64_t screened = 0;     ///< points screened below full fidelity
     std::uint64_t resumed = 0;      ///< points seeded from --resume
     std::uint64_t restarts = 0;     ///< HILL_CLIMB seeded restarts
+
+    // ----- Side channels (never serialized: toJson()/toCsv() stay
+    // byte-identical whether the run had a cold cell store, a warm
+    // one, or none at all). -----
+
+    /** Persistent cell store traffic (zero when cache_dir is off).
+     *  store_misses counts the cells this run actually simulated;
+     *  sim_cells above keeps meaning "cells claimed" so the report
+     *  counter cannot depend on the store's temperature. */
+    std::uint64_t store_hits = 0;
+    std::uint64_t store_misses = 0;
+    std::uint64_t store_stores = 0;
+    std::uint64_t store_errors = 0;
+    /** Flattened obs stat tree ("cell_store.hits", ...) for
+     *  `ltrf_dse --stats`; empty when cache_dir is off. */
+    std::vector<StatLine> stats_lines;
 
     /** Points admitted to each rung, summed over generations
      *  (HALVING only; one entry per rung, the last being the

@@ -1,9 +1,9 @@
 #include "dse/space.hh"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "common/log.hh"
+#include "common/parse_num.hh"
 #include "common/strutil.hh"
 #include "common/types.hh"
 #include "harness/json.hh"
@@ -38,12 +38,9 @@ parseIntToken(char prefix, const std::string &tok, int &v)
 {
     if (tok.size() < 2 || tok[0] != prefix)
         return false;
-    char *end = nullptr;
-    const long n = std::strtol(tok.c_str() + 1, &end, 10);
-    if (end != tok.c_str() + tok.size())
-        return false;
-    v = static_cast<int>(n);
-    return true;
+    // Checked parse: an out-of-int-range digit string in a saved key
+    // is a malformed token, not a silently wrapped value.
+    return parseInt(tok.substr(1), v);
 }
 
 bool
@@ -495,10 +492,66 @@ DesignSpace::enumerate(std::uint64_t limit) const
     const std::uint64_t n =
             limit > 0 ? std::min(limit, size()) : size();
     std::vector<DesignPoint> out;
-    out.reserve(n);
-    for (std::uint64_t i = 0; i < n; i++)
-        out.push_back(pointAt(i));
+    // Cap the up-front reservation: a huge space (or a huge caller
+    // limit) must not turn into one multi-GB allocation before a
+    // single point exists. Past the cap the vector grows
+    // geometrically like any other.
+    constexpr std::uint64_t MAX_RESERVE = 4096;
+    out.reserve(static_cast<std::size_t>(std::min(n, MAX_RESERVE)));
+    PointCursor cur(*this, 0, n);
+    for (DesignPoint p; cur.next(p);)
+        out.push_back(p);
     return out;
+}
+
+PointCursor::PointCursor(const DesignSpace &s, std::uint64_t first,
+                         std::uint64_t count)
+    : space(&s)
+{
+    for (const AxisDesc &a : axisRegistry()) {
+        std::vector<int> vals = a.values(s);
+        if (!vals.empty())
+            radix.emplace_back(&a, std::move(vals));
+    }
+
+    const std::uint64_t n = s.size();
+    if (first >= n)
+        return;
+    remaining = std::min(count, n - first);
+    idx = first;
+
+    // Decode `first` into mixed-radix digits exactly the way
+    // pointAt() does: reverse registry order, last axis fastest.
+    digits.assign(radix.size(), 0);
+    std::uint64_t rem = first;
+    for (std::size_t k = radix.size(); k-- > 0;) {
+        const std::size_t base = radix[k].second.size();
+        digits[k] = static_cast<std::size_t>(rem % base);
+        rem /= base;
+    }
+}
+
+bool
+PointCursor::next(DesignPoint &out)
+{
+    if (remaining == 0)
+        return false;
+
+    DesignPoint p;
+    for (std::size_t k = 0; k < radix.size(); k++)
+        radix[k].first->set(p, radix[k].second[digits[k]]);
+    space->finalize(p);
+    out = p;
+
+    // Advance the odometer (last axis fastest), carrying left.
+    for (std::size_t k = radix.size(); k-- > 0;) {
+        if (++digits[k] < radix[k].second.size())
+            break;
+        digits[k] = 0;
+    }
+    idx++;
+    remaining--;
+    return true;
 }
 
 DesignPoint

@@ -263,6 +263,52 @@ struct DesignSpace
     void validate() const;
 };
 
+/**
+ * Streaming generator over a contiguous stripe of a space's
+ * enumeration order: yields pointAt(first), pointAt(first + 1), ...
+ * one point at a time, without materializing the stripe.
+ *
+ * This is how the explorer admits candidates from very large spaces
+ * (10^6-10^7 points): enumerate() would allocate every point up
+ * front just to have most of them rejected by the budget, while a
+ * cursor keeps peak memory independent of the space size. The cursor
+ * caches the axis value lists once and steps a mixed-radix odometer,
+ * so advancing is O(axes) with no per-point allocation; the yielded
+ * sequence is exactly the pointAt() order (asserted by tests), so
+ * admission order — and therefore every downstream report — is
+ * unchanged relative to the materializing path.
+ *
+ * The referenced space must outlive the cursor and not change while
+ * iterating.
+ */
+class PointCursor
+{
+  public:
+    /**
+     * Iterate the stripe [first, first + count) of @p s's
+     * enumeration order, clamped to the space size. @p first at or
+     * past size() yields an empty cursor, matching the explorer's
+     * "shard past the end" case.
+     */
+    PointCursor(const DesignSpace &s, std::uint64_t first,
+                std::uint64_t count);
+
+    /** Yield the next point into @p out; false when exhausted. */
+    bool next(DesignPoint &out);
+
+    /** Enumeration index the next next() call will yield. */
+    std::uint64_t index() const { return idx; }
+
+  private:
+    const DesignSpace *space;
+    /** Non-empty axes in registry order with their value lists. */
+    std::vector<std::pair<const AxisDesc *, std::vector<int>>> radix;
+    /** Current mixed-radix digits, one per radix entry. */
+    std::vector<std::size_t> digits;
+    std::uint64_t idx = 0;        ///< enumeration index of digits
+    std::uint64_t remaining = 0;  ///< points left to yield
+};
+
 } // namespace ltrf::dse
 
 #endif // LTRF_DSE_SPACE_HH

@@ -75,11 +75,19 @@ appendEscaped(std::string &out, const std::string &s)
     out += '"';
 }
 
+/** Thrown by the lenient parser instead of exiting (tryParse). */
+struct ParseError
+{
+};
+
 /** Recursive-descent parser over a string_view cursor. */
 class Parser
 {
   public:
-    explicit Parser(std::string_view text) : text(text) {}
+    explicit Parser(std::string_view text, bool lenient = false)
+        : text(text), lenient(lenient)
+    {
+    }
 
     Json
     parse()
@@ -95,6 +103,8 @@ class Parser
     [[noreturn]] void
     fail(const char *what)
     {
+        if (lenient)
+            throw ParseError{};
         std::size_t line = 1, col = 1;
         for (std::size_t i = 0; i < pos && i < text.size(); i++) {
             if (text[i] == '\n') { line++; col = 1; } else col++;
@@ -296,6 +306,7 @@ class Parser
 
     std::string_view text;
     std::size_t pos = 0;
+    bool lenient;
 };
 
 } // namespace
@@ -509,6 +520,17 @@ Json
 Json::parse(std::string_view text)
 {
     return Parser(text).parse();
+}
+
+bool
+Json::tryParse(std::string_view text, Json &out)
+{
+    try {
+        out = Parser(text, /*lenient=*/true).parse();
+        return true;
+    } catch (const ParseError &) {
+        return false;
+    }
 }
 
 std::string

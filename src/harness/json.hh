@@ -90,6 +90,15 @@ class Json
     /** Parse @p text; fatal() with a line/column message on error. */
     static Json parse(std::string_view text);
 
+    /**
+     * Parse @p text into @p out, returning false on malformed input
+     * instead of exiting. For readers of files the process does not
+     * own — the persistent cell store must treat a corrupted or
+     * truncated cache entry as a miss, never as a fatal error.
+     * @p out is untouched on failure.
+     */
+    static bool tryParse(std::string_view text, Json &out);
+
     bool operator==(const Json &o) const;
 
   private:

@@ -378,3 +378,119 @@ TEST(ExplorerDeathTest, RandomWithoutBudgetIsFatal)
     EXPECT_EXIT(explore(microSpace(), opt),
                 ::testing::ExitedWithCode(1), "budget");
 }
+
+// ----- Streaming enumeration (PointCursor) -----
+
+TEST(PointCursor, YieldsExactlyThePointAtOrder)
+{
+    const DesignSpace s = DesignSpace::defaults();
+    PointCursor cur(s, 0, s.size());
+    DesignPoint p;
+    std::uint64_t i = 0;
+    while (cur.next(p)) {
+        ASSERT_EQ(p, s.pointAt(i)) << "index " << i;
+        i++;
+    }
+    EXPECT_EQ(i, s.size());
+    EXPECT_FALSE(cur.next(p)) << "exhausted cursors stay exhausted";
+}
+
+TEST(PointCursor, StripesMatchTheShardMath)
+{
+    const DesignSpace s = DesignSpace::defaults();
+    // An interior stripe starting mid-odometer.
+    const std::uint64_t lo = 123, n = 77;
+    PointCursor cur(s, lo, n);
+    EXPECT_EQ(cur.index(), lo);
+    DesignPoint p;
+    for (std::uint64_t i = 0; i < n; i++) {
+        ASSERT_TRUE(cur.next(p));
+        ASSERT_EQ(p, s.pointAt(lo + i));
+    }
+    EXPECT_FALSE(cur.next(p));
+
+    // Count clamps to the space end; a start past the end is empty
+    // (the "shard past the end" case).
+    PointCursor tail(s, s.size() - 3, 1000);
+    std::uint64_t got = 0;
+    while (tail.next(p))
+        got++;
+    EXPECT_EQ(got, 3u);
+    PointCursor past(s, s.size() + 5, 10);
+    EXPECT_FALSE(past.next(p));
+    PointCursor empty(s, 0, 0);
+    EXPECT_FALSE(empty.next(p));
+}
+
+namespace
+{
+
+/** A >10^6-point space (streaming-admission scale; never simulated). */
+DesignSpace
+megaSpace()
+{
+    DesignSpace s;
+    s.techs = {CellTech::HP_SRAM, CellTech::LSTP_SRAM,
+               CellTech::TFET_SRAM, CellTech::DWM};
+    s.banks = {1, 2, 4, 8};
+    s.bank_sizes = {1, 2, 4, 8};
+    s.networks = {NetworkKind::CROSSBAR, NetworkKind::FLAT_BUTTERFLY};
+    s.cache_kbs = {8, 16, 32};
+    s.policies = {PrefetchPolicy::NONE,     PrefetchPolicy::HW_CACHE,
+                  PrefetchPolicy::SW_CACHE, PrefetchPolicy::STRAND,
+                  PrefetchPolicy::INTERVAL,
+                  PrefetchPolicy::INTERVAL_PLUS};
+    s.warps = {2, 4, 6, 8, 16};
+    s.intervals = {4, 8, 16, 32, 64};
+    s.collectors = {2, 4, 8, 16};
+    s.dram_service = {1, 2, 3, 4, 5};
+    return s;
+}
+
+} // namespace
+
+TEST(PointCursor, StreamsAMillionPointSpaceWithoutMaterializing)
+{
+    const DesignSpace s = megaSpace();
+    ASSERT_GE(s.size(), 1'000'000u);
+
+    // Walk the whole space one point at a time — the enumerate()
+    // formulation would materialize s.size() DesignPoints up front.
+    // Spot-check the odometer against the mixed-radix decode at
+    // scattered indices.
+    PointCursor cur(s, 0, s.size());
+    DesignPoint p;
+    std::uint64_t i = 0;
+    while (cur.next(p)) {
+        if (i % 99991 == 0)
+            ASSERT_EQ(p, s.pointAt(i)) << "index " << i;
+        i++;
+    }
+    EXPECT_EQ(i, s.size());
+
+    // A deep stripe seeks directly instead of skipping.
+    const std::uint64_t lo = s.size() - 7;
+    PointCursor tail(s, lo, 7);
+    for (std::uint64_t k = 0; k < 7; k++) {
+        ASSERT_TRUE(tail.next(p));
+        ASSERT_EQ(p, s.pointAt(lo + k));
+    }
+}
+
+TEST(DesignSpace, EnumerateMatchesCursorAndSurvivesHugeLimits)
+{
+    const DesignSpace s = DesignSpace::defaults();
+    const std::vector<DesignPoint> all = s.enumerate();
+    ASSERT_EQ(all.size(), s.size());
+    for (std::size_t i = 0; i < all.size(); i++)
+        ASSERT_EQ(all[i], s.pointAt(i));
+
+    EXPECT_EQ(s.enumerate(5).size(), 5u);
+    // A limit far beyond the space (or beyond addressable memory)
+    // clamps instead of driving a multi-GB reserve().
+    const std::vector<DesignPoint> huge =
+            s.enumerate(UINT64_MAX);
+    EXPECT_EQ(huge.size(), s.size());
+    EXPECT_EQ(huge.front(), all.front());
+    EXPECT_EQ(huge.back(), all.back());
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the checked CLI numeric parsers (common/parse_num):
+ * whole-string parsing, explicit range failures instead of strtol's
+ * silent saturation, and rejection of the silent int-narrowing wrap
+ * (`--budget 4294967297` becoming 1) that motivated them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/parse_num.hh"
+
+using namespace ltrf;
+
+TEST(ParseNum, IntAcceptsPlainBase10)
+{
+    int v = -1;
+    EXPECT_TRUE(parseInt("0", v));
+    EXPECT_EQ(v, 0);
+    EXPECT_TRUE(parseInt("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseInt("-17", v));
+    EXPECT_EQ(v, -17);
+    EXPECT_TRUE(parseInt("2147483647", v));
+    EXPECT_EQ(v, 2147483647);
+    EXPECT_TRUE(parseInt("-2147483648", v));
+    EXPECT_EQ(v, -2147483648);
+}
+
+TEST(ParseNum, IntRejectsMalformedTokens)
+{
+    int v = 99;
+    EXPECT_FALSE(parseInt("", v));
+    EXPECT_FALSE(parseInt("12x", v));
+    EXPECT_FALSE(parseInt("x12", v));
+    EXPECT_FALSE(parseInt("1 2", v));
+    EXPECT_FALSE(parseInt(" 12", v));    // strtol would skip the ws
+    EXPECT_FALSE(parseInt("+12", v));    // strtol would accept '+'
+    EXPECT_FALSE(parseInt("-", v));
+    EXPECT_FALSE(parseInt("0x10", v));   // base 10 only
+    EXPECT_FALSE(parseInt("1.5", v));
+    EXPECT_EQ(v, 99) << "failed parses must not touch the output";
+}
+
+TEST(ParseNum, IntRejectsOutOfRangeInsteadOfWrapping)
+{
+    int v = 0;
+    // 2^32 + 1: static_cast<int>(strtol(...)) used to yield 1.
+    EXPECT_FALSE(parseInt("4294967297", v));
+    EXPECT_FALSE(parseInt("2147483648", v));      // INT_MAX + 1
+    EXPECT_FALSE(parseInt("-2147483649", v));     // INT_MIN - 1
+    // Beyond even long long: strtol saturates, we reject.
+    EXPECT_FALSE(parseInt("99999999999999999999999999", v));
+}
+
+TEST(ParseNum, Int64CoversTheWiderRange)
+{
+    std::int64_t v = 0;
+    EXPECT_TRUE(parseInt64("4294967297", v));
+    EXPECT_EQ(v, 4294967297ll);
+    EXPECT_TRUE(parseInt64("9223372036854775807", v));
+    EXPECT_EQ(v, INT64_MAX);
+    EXPECT_TRUE(parseInt64("-9223372036854775808", v));
+    EXPECT_EQ(v, INT64_MIN);
+    EXPECT_FALSE(parseInt64("9223372036854775808", v));
+}
+
+TEST(ParseNum, Uint64AcceptsFullRangeRejectsNegatives)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(parseUint64("4294967297", v));
+    EXPECT_EQ(v, 4294967297ull);
+    EXPECT_TRUE(parseUint64("18446744073709551615", v));
+    EXPECT_EQ(v, UINT64_MAX);
+    EXPECT_FALSE(parseUint64("18446744073709551616", v));
+    // strtoull wraps "-1" to UINT64_MAX; the checked parse refuses.
+    EXPECT_FALSE(parseUint64("-1", v));
+    EXPECT_FALSE(parseUint64("+1", v));
+    EXPECT_FALSE(parseUint64("", v));
+    EXPECT_FALSE(parseUint64("12, 13", v));
+}
+
+TEST(ParseNum, DoubleParsesFiniteWholeStrings)
+{
+    double v = 0.0;
+    EXPECT_TRUE(parseDouble("0.5", v));
+    EXPECT_DOUBLE_EQ(v, 0.5);
+    EXPECT_TRUE(parseDouble("-3.25e2", v));
+    EXPECT_DOUBLE_EQ(v, -325.0);
+    EXPECT_FALSE(parseDouble("", v));
+    EXPECT_FALSE(parseDouble("1.5x", v));
+    EXPECT_FALSE(parseDouble(" 1.5", v));
+    EXPECT_FALSE(parseDouble("nan", v));
+    EXPECT_FALSE(parseDouble("inf", v));
+    EXPECT_FALSE(parseDouble("1e999", v));    // overflows to inf
+}
