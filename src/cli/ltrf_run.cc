@@ -19,11 +19,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/log.hh"
 #include "common/parse_num.hh"
+#include "compiler/verify.hh"
+#include "core/compile.hh"
 #include "harness/runner.hh"
 #include "obs/stats_json.hh"
 #include "obs/trace_sink.hh"
@@ -56,6 +60,14 @@ Execution:
   --jobs N           worker threads; 0 = hardware concurrency
                      (default: 0)
   --no-normalize     skip the baseline runs and report raw IPC
+
+Verification:
+  --verify-only      compile each (workload, design) combination and
+                     run the static kernel verifier instead of
+                     simulating; prints a per-kernel PASS/FAIL table
+                     plus diagnostics and exits 1 if any check fails
+  --verify-skip LIST comma-separated check ids to skip: cfg, def-use,
+                     interval, residency, dead-bit, capacity, prefetch
 
 Output:
   --out PATH         write the ResultSet to PATH ("-" for stdout)
@@ -108,6 +120,8 @@ struct Options
     OutputFormat format = OutputFormat::JSON;
     std::string stats_path;
     std::string trace_path;
+    bool verify_only = false;
+    VerifyOptions verify_opts;
 };
 
 Options
@@ -169,6 +183,18 @@ parseArgs(int argc, char **argv)
         } else if (a == "--json") {
             opt.out_path = value(i);
             opt.format = OutputFormat::JSON;
+        } else if (a == "--verify-only") {
+            opt.verify_only = true;
+        } else if (a == "--verify-skip") {
+            for (const std::string &s : splitList(value(i))) {
+                VerifyCheck c;
+                if (!parseVerifyCheck(s, c))
+                    usageError("unknown verifier check \"" + s +
+                               "\" (expected cfg, def-use, interval, "
+                               "residency, dead-bit, capacity, or "
+                               "prefetch)");
+                opt.verify_opts.disable(c);
+            }
         } else if (a == "--stats") {
             opt.stats_path = value(i);
         } else if (a == "--trace") {
@@ -204,6 +230,59 @@ parseArgs(int argc, char **argv)
     return opt;
 }
 
+/**
+ * `--verify-only`: statically compile and verify every distinct
+ * (workload, design, regs_per_interval) combination in the sweep —
+ * no traces, no simulation. @return the process exit code: 0 when
+ * every kernel verifies clean, 1 otherwise.
+ */
+int
+runVerifyOnly(const Options &opt, const std::vector<SweepCell> &cells)
+{
+    struct Row
+    {
+        std::string workload;
+        RfDesign design;
+        VerifyResult res;
+    };
+    std::vector<Row> rows;
+    std::set<std::tuple<std::string, int, int>> seen;
+    for (const SweepCell &cell : cells) {
+        // rf-config / latency axes do not change compilation; dedupe
+        // to what the compiler actually sees.
+        if (!seen.insert({cell.workload,
+                          static_cast<int>(cell.config.design),
+                          cell.config.regs_per_interval})
+                     .second) {
+            continue;
+        }
+        const Workload &w = WorkloadSuite::byName(cell.workload);
+        CompiledWorkload cw = compileWorkloadStatic(w.kernel, cell.config);
+        rows.push_back({cell.workload, cell.config.design,
+                        verifyAnalysis(cw.analysis,
+                                       cell.config.regs_per_interval,
+                                       opt.verify_opts)});
+    }
+
+    int failed = 0;
+    std::printf("%-16s %-12s %s\n", "workload", "design", "verdict");
+    for (const Row &r : rows) {
+        bool ok = r.res.clean();
+        if (!ok)
+            failed++;
+        std::printf("%-16s %-12s %s\n", r.workload.c_str(),
+                    rfDesignName(r.design), ok ? "PASS" : "FAIL");
+        for (const VerifyDiag &d : r.res.diags)
+            std::printf("    %s\n", d.toString().c_str());
+        if (r.res.dropped > 0)
+            std::printf("    ... and %d further diagnostics\n",
+                        r.res.dropped);
+    }
+    std::printf("\n%zu/%zu kernel compilations verified clean\n",
+                rows.size() - failed, rows.size());
+    return failed > 0 ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -211,6 +290,9 @@ main(int argc, char **argv)
 {
     Options opt = parseArgs(argc, argv);
     std::vector<SweepCell> cells = expandSweep(opt.spec);
+
+    if (opt.verify_only)
+        return runVerifyOnly(opt, cells);
 
     // Observability rides on the cells' SimConfigs; the golden
     // ResultSet report is untouched either way.

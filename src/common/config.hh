@@ -173,6 +173,16 @@ struct SimConfig
     bool collect_stall_stats = false;
 
     /**
+     * Run the static kernel-IR verifier (src/compiler/verify.hh)
+     * over the compiled artifact before simulating; any diagnostic
+     * is fatal. Observationally pure — verification only reads the
+     * compiled kernel — so it is deliberately not part of the DSE
+     * simKey. Default on (tests/CI catch broken kernels at the
+     * door); `ltrf_bench` turns it off on its hot path.
+     */
+    bool verify_kernels = true;
+
+    /**
      * Per-warp timeline trace sink (`ltrf_run --trace`); null means
      * tracing off. Borrowed, not owned; shared by concurrent cells
      * (the sink is thread-safe). Not part of the DSE simKey.

@@ -10,13 +10,19 @@ namespace ltrf
 bool
 CfgInfo::dominates(BlockId a, BlockId b) const
 {
+    // Dominance is only defined between reachable blocks; this also
+    // rejects INVALID_BLOCK and out-of-range ids (whose idom slots do
+    // not exist) instead of indexing idom[] out of bounds.
+    if (!reachable(a) || !reachable(b))
+        return false;
+
     // Walk the dominator tree upward from b.
     BlockId cur = b;
     while (true) {
         if (cur == a)
             return true;
         BlockId up = idom[cur];
-        if (up == cur)
+        if (up == cur || up == INVALID_BLOCK)
             return false;
         cur = up;
     }

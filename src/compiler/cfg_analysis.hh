@@ -44,11 +44,25 @@ struct CfgInfo
     /** True if every retreating edge is a back edge. */
     bool reducible = true;
 
-    /** @return true if @p a dominates @p b. */
+    /**
+     * @return true if @p a dominates @p b. INVALID_BLOCK,
+     * out-of-range, or unreachable arguments dominate nothing and
+     * are dominated by nothing.
+     */
     bool dominates(BlockId a, BlockId b) const;
 
-    /** @return true if block @p b is reachable from the entry. */
-    bool reachable(BlockId b) const { return rpo_index[b] >= 0; }
+    /**
+     * @return true if block @p b is reachable from the entry.
+     * INVALID_BLOCK and out-of-range ids are simply not reachable,
+     * so callers probing edges of possibly-corrupt CFGs (the static
+     * verifier) never index out of bounds.
+     */
+    bool
+    reachable(BlockId b) const
+    {
+        return b >= 0 && b < static_cast<BlockId>(rpo_index.size()) &&
+               rpo_index[b] >= 0;
+    }
 };
 
 /** Run all analyses on @p kernel. */

@@ -1,0 +1,773 @@
+#include "compiler/verify.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "compiler/cfg_analysis.hh"
+#include "compiler/liveness.hh"
+
+namespace ltrf
+{
+
+const char *
+verifyCheckName(VerifyCheck c)
+{
+    switch (c) {
+      case VerifyCheck::CFG:
+        return "cfg";
+      case VerifyCheck::DEF_USE:
+        return "def-use";
+      case VerifyCheck::INTERVAL:
+        return "interval";
+      case VerifyCheck::RESIDENCY:
+        return "residency";
+      case VerifyCheck::DEAD_BIT:
+        return "dead-bit";
+      case VerifyCheck::CAPACITY:
+        return "capacity";
+      case VerifyCheck::PREFETCH:
+        return "prefetch";
+    }
+    return "?";
+}
+
+bool
+parseVerifyCheck(const std::string &name, VerifyCheck &out)
+{
+    static constexpr VerifyCheck ALL[] = {
+            VerifyCheck::CFG,      VerifyCheck::DEF_USE,
+            VerifyCheck::INTERVAL, VerifyCheck::RESIDENCY,
+            VerifyCheck::DEAD_BIT, VerifyCheck::CAPACITY,
+            VerifyCheck::PREFETCH,
+    };
+    for (VerifyCheck c : ALL) {
+        if (name == verifyCheckName(c)) {
+            out = c;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+VerifyOptions::disable(VerifyCheck c)
+{
+    switch (c) {
+      case VerifyCheck::CFG:
+        check_cfg = false;
+        break;
+      case VerifyCheck::DEF_USE:
+        check_def_use = false;
+        break;
+      case VerifyCheck::INTERVAL:
+        check_interval = false;
+        break;
+      case VerifyCheck::RESIDENCY:
+        check_residency = false;
+        break;
+      case VerifyCheck::DEAD_BIT:
+        check_dead_bit = false;
+        break;
+      case VerifyCheck::CAPACITY:
+        check_capacity = false;
+        break;
+      case VerifyCheck::PREFETCH:
+        check_prefetch = false;
+        break;
+    }
+}
+
+std::string
+VerifyDiag::toString() const
+{
+    std::string where;
+    if (block != INVALID_BLOCK) {
+        where = detail::format(" block %d", block);
+        if (instr >= 0)
+            where += detail::format(" instr %d", instr);
+    }
+    return detail::format("[%s]%s: %s", verifyCheckName(check),
+                          where.c_str(), message.c_str());
+}
+
+bool
+VerifyResult::has(VerifyCheck c) const
+{
+    for (const VerifyDiag &d : diags)
+        if (d.check == c)
+            return true;
+    return false;
+}
+
+int
+VerifyResult::count(VerifyCheck c) const
+{
+    int n = 0;
+    for (const VerifyDiag &d : diags)
+        if (d.check == c)
+            n++;
+    return n;
+}
+
+std::string
+VerifyResult::report() const
+{
+    std::string out;
+    for (const VerifyDiag &d : diags) {
+        out += d.toString();
+        out += '\n';
+    }
+    if (dropped > 0)
+        out += detail::format("... and %d further diagnostics\n", dropped);
+    return out;
+}
+
+namespace
+{
+
+/** Collects diagnostics, bounded by VerifyOptions::max_diagnostics. */
+class Emitter
+{
+  public:
+    Emitter(VerifyResult &r, const VerifyOptions &o) : res(r), opt(o) {}
+
+    void
+    emit(VerifyCheck check, BlockId block, int instr, std::string msg)
+    {
+        if (static_cast<int>(res.diags.size()) >= opt.max_diagnostics) {
+            res.dropped++;
+            return;
+        }
+        res.diags.push_back(
+                VerifyDiag{check, block, instr, std::move(msg)});
+    }
+
+  private:
+    VerifyResult &res;
+    const VerifyOptions &opt;
+};
+
+/** @return true iff @p r is a usable architectural register id. */
+bool
+regInBitvecRange(RegId r)
+{
+    return r >= 0 && r < MAX_ARCH_REGS;
+}
+
+/**
+ * Structural well-formedness. @return true when the kernel is safe
+ * for the dataflow checks: block/register ids all within range and
+ * the pred/succ lists symmetric. Diagnostics are emitted only when
+ * @p report is set (the cfg check may be toggled off while the
+ * safety gate still has to run).
+ */
+bool
+structuralCfg(const Kernel &k, Emitter &em, bool report)
+{
+    const int n = k.numBlocks();
+    bool safe = true;
+    auto bad = [&](VerifyCheck c, BlockId b, int i, std::string msg) {
+        safe = false;
+        if (report)
+            em.emit(c, b, i, std::move(msg));
+    };
+
+    if (n == 0) {
+        bad(VerifyCheck::CFG, INVALID_BLOCK, -1, "kernel has no blocks");
+        return false;
+    }
+
+    for (const BasicBlock &bb : k.blocks) {
+        if (bb.id < 0 || bb.id >= n || &k.block(bb.id) != &bb) {
+            bad(VerifyCheck::CFG, bb.id, -1,
+                detail::format("block id %d inconsistent with its "
+                               "position", bb.id));
+            continue;
+        }
+        if (bb.succs.size() > 2) {
+            bad(VerifyCheck::CFG, bb.id, -1,
+                detail::format("%zu successors (max 2)",
+                               bb.succs.size()));
+        }
+        for (BlockId s : bb.succs) {
+            if (s < 0 || s >= n) {
+                bad(VerifyCheck::CFG, bb.id, -1,
+                    detail::format("successor %d out of range [0, %d)",
+                                   s, n));
+                continue;
+            }
+            const auto &sp = k.block(s).preds;
+            if (std::find(sp.begin(), sp.end(), bb.id) == sp.end()) {
+                bad(VerifyCheck::CFG, bb.id, -1,
+                    detail::format("edge %d->%d missing from %d's "
+                                   "preds", bb.id, s, s));
+            }
+        }
+        for (BlockId p : bb.preds) {
+            if (p < 0 || p >= n) {
+                bad(VerifyCheck::CFG, bb.id, -1,
+                    detail::format("predecessor %d out of range "
+                                   "[0, %d)", p, n));
+                continue;
+            }
+            const auto &ps = k.block(p).succs;
+            if (std::find(ps.begin(), ps.end(), bb.id) == ps.end()) {
+                bad(VerifyCheck::CFG, bb.id, -1,
+                    detail::format("edge %d->%d missing from %d's "
+                                   "succs", p, bb.id, p));
+            }
+        }
+
+        for (size_t i = 0; i < bb.instrs.size(); i++) {
+            const Instruction &in = bb.instrs[i];
+            if (isControl(in.op) && i + 1 != bb.instrs.size()) {
+                bad(VerifyCheck::CFG, bb.id, static_cast<int>(i),
+                    detail::format("control op %s mid-block",
+                                   opcodeName(in.op)));
+            }
+            for (RegId s : in.srcs) {
+                if (s != INVALID_REG &&
+                    (!regInBitvecRange(s) || s >= k.num_regs)) {
+                    bad(VerifyCheck::CFG, bb.id, static_cast<int>(i),
+                        detail::format("source reg %d out of range "
+                                       "[0, %d)", s, k.num_regs));
+                }
+            }
+            if (in.dst != INVALID_REG &&
+                (!regInBitvecRange(in.dst) || in.dst >= k.num_regs)) {
+                bad(VerifyCheck::CFG, bb.id, static_cast<int>(i),
+                    detail::format("dest reg %d out of range [0, %d)",
+                                   in.dst, k.num_regs));
+            }
+            if ((isLoad(in.op) || isStore(in.op)) &&
+                (in.mem_stream < 0 ||
+                 in.mem_stream >=
+                         static_cast<int>(k.mem_streams.size()))) {
+                bad(VerifyCheck::CFG, bb.id, static_cast<int>(i),
+                    detail::format("memory stream %d out of range "
+                                   "[0, %zu)", in.mem_stream,
+                                   k.mem_streams.size()));
+            }
+        }
+
+        // Terminator discipline (does not make dataflow unsafe, so
+        // report without clearing `safe`).
+        if (report) {
+            if (bb.succs.size() == 2 &&
+                (bb.instrs.empty() ||
+                 bb.instrs.back().op != Opcode::BRA)) {
+                em.emit(VerifyCheck::CFG, bb.id, -1,
+                        "two-successor block lacks terminating BRA");
+            }
+            if (bb.succs.empty() &&
+                (bb.instrs.empty() ||
+                 bb.instrs.back().op != Opcode::EXIT)) {
+                em.emit(VerifyCheck::CFG, bb.id, -1,
+                        "terminal block lacks EXIT");
+            }
+            if (!bb.succs.empty() && !bb.instrs.empty() &&
+                bb.instrs.back().op == Opcode::EXIT) {
+                em.emit(VerifyCheck::CFG, bb.id, -1,
+                        "EXIT block has successors");
+            }
+        }
+    }
+
+    if (report && !k.block(k.entry()).preds.empty()) {
+        em.emit(VerifyCheck::CFG, k.entry(), -1,
+                "entry block has predecessors (CFG must be "
+                "single-entry)");
+    }
+    return safe;
+}
+
+/** Reachability + reducibility over a structurally safe kernel. */
+void
+checkCfgGlobal(const Kernel &k, const CfgInfo &cfg, Emitter &em)
+{
+    for (const BasicBlock &bb : k.blocks) {
+        if (!cfg.reachable(bb.id)) {
+            em.emit(VerifyCheck::CFG, bb.id, -1,
+                    "block unreachable from the entry");
+        }
+    }
+    if (!cfg.reducible) {
+        em.emit(VerifyCheck::CFG, INVALID_BLOCK, -1,
+                "CFG is irreducible (interval formation assumes "
+                "reducible control flow)");
+    }
+}
+
+/**
+ * Weak reaching-definition check: flag reads no definition can ever
+ * reach (see file header for why the all-paths variant is not
+ * enforced). Union dataflow over reachable blocks.
+ */
+void
+checkDefUse(const Kernel &k, const CfgInfo &cfg, Emitter &em)
+{
+    const int n = k.numBlocks();
+    std::vector<RegBitVec> defs(n), in(n), out(n);
+    for (const BasicBlock &bb : k.blocks) {
+        for (const Instruction &ins : bb.instrs) {
+            if (ins.op != Opcode::PREFETCH && ins.dst != INVALID_REG)
+                defs[bb.id].set(ins.dst);
+        }
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b : cfg.rpo) {
+            RegBitVec i_state;
+            for (BlockId p : k.block(b).preds)
+                if (cfg.reachable(p))
+                    i_state |= out[p];
+            RegBitVec o_state = i_state | defs[b];
+            if (i_state != in[b] || o_state != out[b]) {
+                in[b] = std::move(i_state);
+                out[b] = std::move(o_state);
+                changed = true;
+            }
+        }
+    }
+
+    for (BlockId b : cfg.rpo) {
+        RegBitVec seen = in[b];
+        const BasicBlock &bb = k.block(b);
+        for (size_t i = 0; i < bb.instrs.size(); i++) {
+            const Instruction &ins = bb.instrs[i];
+            if (ins.op == Opcode::PREFETCH)
+                continue;
+            for (RegId s : ins.srcs) {
+                if (s != INVALID_REG && !seen.test(s)) {
+                    em.emit(VerifyCheck::DEF_USE, b,
+                            static_cast<int>(i),
+                            detail::format("read of r%d which no "
+                                           "definition can reach", s));
+                }
+            }
+            if (ins.dst != INVALID_REG)
+                seen.set(ins.dst);
+        }
+    }
+}
+
+/**
+ * Dead-operand soundness: recompute liveness independently and flag
+ * operands marked dead whose register is still live after the
+ * instruction.
+ */
+void
+checkDeadBits(const Kernel &k, Emitter &em)
+{
+    LivenessInfo live = computeLiveness(k);
+    for (const BasicBlock &bb : k.blocks) {
+        // 'after' is the live set after the instruction at hand,
+        // maintained by a backward walk as in annotateDeadOperands.
+        RegBitVec after = live.live_out[bb.id];
+        for (int i = static_cast<int>(bb.instrs.size()) - 1; i >= 0;
+             i--) {
+            const Instruction &ins = bb.instrs[i];
+            if (ins.op == Opcode::PREFETCH)
+                continue;
+            for (int s = 0; s < 3; s++) {
+                if (ins.srcs[s] == INVALID_REG || !ins.src_dead[s])
+                    continue;
+                if (after.test(ins.srcs[s])) {
+                    em.emit(VerifyCheck::DEAD_BIT, bb.id, i,
+                            detail::format(
+                                    "operand %d (r%d) marked dead but "
+                                    "the register is read again on "
+                                    "some path", s, ins.srcs[s]));
+                }
+            }
+            if (ins.dst != INVALID_REG)
+                after.clear(ins.dst);
+            for (RegId s : ins.srcs)
+                if (s != INVALID_REG)
+                    after.set(s);
+        }
+    }
+}
+
+/** Interval-map consistency (see header). */
+void
+checkIntervals(const Kernel &k, const IntervalAnalysis &ia, Emitter &em)
+{
+    const int n = k.numBlocks();
+    const int ni = static_cast<int>(ia.intervals.size());
+
+    if (static_cast<int>(ia.block_interval.size()) != n) {
+        em.emit(VerifyCheck::INTERVAL, INVALID_BLOCK, -1,
+                detail::format("block_interval has %zu entries for %d "
+                               "blocks", ia.block_interval.size(), n));
+        return;
+    }
+
+    auto intervalOf = [&](BlockId b) -> IntervalId {
+        return (b >= 0 && b < n) ? ia.block_interval[b]
+                                 : UNKNOWN_INTERVAL;
+    };
+
+    for (BlockId b = 0; b < n; b++) {
+        IntervalId i = ia.block_interval[b];
+        if (i < 0 || i >= ni) {
+            em.emit(VerifyCheck::INTERVAL, b, -1,
+                    detail::format("block assigned to interval %d, "
+                                   "valid range [0, %d)", i, ni));
+        }
+    }
+
+    std::vector<int> member_count(ni, 0);
+    for (BlockId b = 0; b < n; b++) {
+        IntervalId i = ia.block_interval[b];
+        if (i >= 0 && i < ni)
+            member_count[i]++;
+    }
+
+    for (const RegisterInterval &iv : ia.intervals) {
+        if (iv.header < 0 || iv.header >= n) {
+            em.emit(VerifyCheck::INTERVAL, INVALID_BLOCK, -1,
+                    detail::format("interval %d header %d out of "
+                                   "range", iv.id, iv.header));
+            continue;
+        }
+        if (intervalOf(iv.header) != iv.id) {
+            em.emit(VerifyCheck::INTERVAL, iv.header, -1,
+                    detail::format("interval %d header not mapped to "
+                                   "its interval", iv.id));
+        }
+        RegBitVec used;
+        bool members_ok = true;
+        for (BlockId b : iv.blocks) {
+            if (b < 0 || b >= n) {
+                em.emit(VerifyCheck::INTERVAL, b, -1,
+                        detail::format("interval %d member out of "
+                                       "range", iv.id));
+                members_ok = false;
+                continue;
+            }
+            if (ia.block_interval[b] != iv.id) {
+                em.emit(VerifyCheck::INTERVAL, b, -1,
+                        detail::format("interval %d member mapped to "
+                                       "interval %d", iv.id,
+                                       ia.block_interval[b]));
+                members_ok = false;
+            }
+            used |= k.block(b).usedRegs();
+        }
+        if (members_ok &&
+            member_count[iv.id] != static_cast<int>(iv.blocks.size())) {
+            em.emit(VerifyCheck::INTERVAL, iv.header, -1,
+                    detail::format("interval %d member list has %zu "
+                                   "blocks but %d blocks map to it",
+                                   iv.id, iv.blocks.size(),
+                                   member_count[iv.id]));
+        }
+        if (!iv.working_set.contains(used)) {
+            RegBitVec missing = used - iv.working_set;
+            em.emit(VerifyCheck::INTERVAL, iv.header, -1,
+                    detail::format("interval %d working set misses "
+                                   "registers %s its blocks touch",
+                                   iv.id,
+                                   missing.toString().c_str()));
+        }
+    }
+
+    // The single-entry invariant: an edge crossing intervals must
+    // enter at the target interval's header.
+    for (const BasicBlock &bb : k.blocks) {
+        IntervalId iu = intervalOf(bb.id);
+        for (BlockId s : bb.succs) {
+            IntervalId is = intervalOf(s);
+            if (is < 0 || is >= ni || is == iu)
+                continue;
+            if (s != ia.intervals[is].header) {
+                em.emit(VerifyCheck::INTERVAL, bb.id, -1,
+                        detail::format("edge %d->%d enters interval "
+                                       "%d at a non-header block",
+                                       bb.id, s, is));
+            }
+        }
+    }
+}
+
+/** Capacity: working sets fit the per-warp fast-RF partition. */
+void
+checkCapacity(const IntervalAnalysis &ia, int max_regs, Emitter &em)
+{
+    for (const RegisterInterval &iv : ia.intervals) {
+        int ws = iv.working_set.count();
+        if (ws > max_regs) {
+            em.emit(VerifyCheck::CAPACITY,
+                    (iv.header >= 0 &&
+                     iv.header < ia.kernel.numBlocks())
+                            ? iv.header
+                            : INVALID_BLOCK,
+                    -1,
+                    detail::format("interval %d working set of %d "
+                                   "registers exceeds the %d-register "
+                                   "partition", iv.id, ws, max_regs));
+        }
+    }
+}
+
+/**
+ * Residency (the fast-RF guarantee). Structural half: every interval
+ * header starts with a PREFETCH covering the working set. Dataflow
+ * half: the last-executed prefetch mask (intersection over paths)
+ * covers every register access.
+ */
+void
+checkResidency(const Kernel &k, const CfgInfo &cfg,
+               const IntervalAnalysis &ia, Emitter &em)
+{
+    const int n = k.numBlocks();
+
+    for (const RegisterInterval &iv : ia.intervals) {
+        if (iv.working_set.empty() || iv.header < 0 || iv.header >= n)
+            continue;
+        const BasicBlock &h = k.block(iv.header);
+        if (h.instrs.empty() || h.instrs.front().op != Opcode::PREFETCH) {
+            em.emit(VerifyCheck::RESIDENCY, iv.header, 0,
+                    detail::format("interval %d header does not begin "
+                                   "with a PREFETCH of its working "
+                                   "set", iv.id));
+            continue;
+        }
+        if (!h.instrs.front().prefetch_mask.contains(iv.working_set)) {
+            RegBitVec missing =
+                    iv.working_set - h.instrs.front().prefetch_mask;
+            em.emit(VerifyCheck::RESIDENCY, iv.header, 0,
+                    detail::format("interval %d header PREFETCH mask "
+                                   "misses %s of the working set",
+                                   iv.id, missing.toString().c_str()));
+        }
+    }
+
+    // Forward dataflow. The resident set at a point is exactly the
+    // last PREFETCH mask executed (a prefetch fills the warp's whole
+    // partition, evicting the previous interval); the meet across
+    // predecessors is intersection (guaranteed on *every* path).
+    RegBitVec full;
+    for (int r = 0; r < RegBitVec::NUM_BITS; r++)
+        full.set(r);
+
+    auto transfer = [&](BlockId b, RegBitVec state) {
+        for (const Instruction &ins : k.block(b).instrs)
+            if (ins.op == Opcode::PREFETCH)
+                state = ins.prefetch_mask;
+        return state;
+    };
+
+    std::vector<RegBitVec> in(n, full), out(n, full);
+    in[k.entry()] = RegBitVec{};
+    out[k.entry()] = transfer(k.entry(), RegBitVec{});
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b : cfg.rpo) {
+            RegBitVec i_state = full;
+            if (b == k.entry()) {
+                i_state = RegBitVec{};
+            } else {
+                for (BlockId p : k.block(b).preds)
+                    if (cfg.reachable(p))
+                        i_state &= out[p];
+            }
+            RegBitVec o_state = transfer(b, i_state);
+            if (i_state != in[b] || o_state != out[b]) {
+                in[b] = std::move(i_state);
+                out[b] = std::move(o_state);
+                changed = true;
+            }
+        }
+    }
+
+    for (BlockId b : cfg.rpo) {
+        RegBitVec resident = in[b];
+        const BasicBlock &bb = k.block(b);
+        for (size_t i = 0; i < bb.instrs.size(); i++) {
+            const Instruction &ins = bb.instrs[i];
+            if (ins.op == Opcode::PREFETCH) {
+                resident = ins.prefetch_mask;
+                continue;
+            }
+            for (RegId s : ins.srcs) {
+                if (s != INVALID_REG && !resident.test(s)) {
+                    em.emit(VerifyCheck::RESIDENCY, b,
+                            static_cast<int>(i),
+                            detail::format(
+                                    "read of r%d not covered by a "
+                                    "PREFETCH on every path (fast-RF "
+                                    "guarantee violated)", s));
+                }
+            }
+            if (ins.dst != INVALID_REG && !resident.test(ins.dst)) {
+                em.emit(VerifyCheck::RESIDENCY, b, static_cast<int>(i),
+                        detail::format("write of r%d not covered by a "
+                                       "PREFETCH on every path "
+                                       "(fast-RF guarantee violated)",
+                                       ins.dst));
+            }
+        }
+    }
+}
+
+/**
+ * Prefetch sanity: every non-empty-mask PREFETCH must have some
+ * masked register accessed on some path before the next PREFETCH.
+ */
+void
+checkPrefetchSanity(const Kernel &k, Emitter &em)
+{
+    const int n = k.numBlocks();
+
+    auto accessesMask = [](const Instruction &ins, const RegBitVec &m) {
+        if (ins.op == Opcode::PREFETCH)
+            return false;
+        for (RegId s : ins.srcs)
+            if (s != INVALID_REG && m.test(s))
+                return true;
+        return ins.dst != INVALID_REG && m.test(ins.dst);
+    };
+
+    // Scan instrs [from, end) of block b; returns 1 if a masked
+    // access is found, 0 if a PREFETCH ends the window, -1 if the
+    // block ends with the window still open.
+    auto scanBlock = [&](BlockId b, size_t from, const RegBitVec &m) {
+        const BasicBlock &bb = k.block(b);
+        for (size_t i = from; i < bb.instrs.size(); i++) {
+            if (accessesMask(bb.instrs[i], m))
+                return 1;
+            if (bb.instrs[i].op == Opcode::PREFETCH)
+                return 0;
+        }
+        return -1;
+    };
+
+    for (const BasicBlock &bb : k.blocks) {
+        for (size_t i = 0; i < bb.instrs.size(); i++) {
+            const Instruction &pf = bb.instrs[i];
+            if (pf.op != Opcode::PREFETCH || pf.prefetch_mask.empty())
+                continue;
+
+            bool used = false;
+            std::vector<char> visited(n, 0);
+            std::vector<BlockId> work;
+            int first = scanBlock(bb.id, i + 1, pf.prefetch_mask);
+            if (first == 1) {
+                used = true;
+            } else if (first == -1) {
+                for (BlockId s : bb.succs)
+                    if (s >= 0 && s < n && !visited[s]) {
+                        visited[s] = 1;
+                        work.push_back(s);
+                    }
+            }
+            while (!used && !work.empty()) {
+                BlockId b = work.back();
+                work.pop_back();
+                int r = scanBlock(b, 0, pf.prefetch_mask);
+                if (r == 1) {
+                    used = true;
+                } else if (r == -1) {
+                    for (BlockId s : k.block(b).succs)
+                        if (s >= 0 && s < n && !visited[s]) {
+                            visited[s] = 1;
+                            work.push_back(s);
+                        }
+                }
+            }
+            if (!used) {
+                em.emit(VerifyCheck::PREFETCH, bb.id,
+                        static_cast<int>(i),
+                        detail::format("PREFETCH of %s never followed "
+                                       "by an access to any masked "
+                                       "register before the next "
+                                       "PREFETCH (wasted slot)",
+                                       pf.prefetch_mask.toString()
+                                               .c_str()));
+            }
+        }
+    }
+}
+
+/** Shared driver behind verifyKernel()/verifyAnalysis(). */
+VerifyResult
+verifyImpl(const Kernel &k, const IntervalAnalysis *ia, int max_regs,
+           const VerifyOptions &opt)
+{
+    VerifyResult out;
+    out.kernel = k.name;
+    Emitter em(out, opt);
+
+    // The safety gate always runs (the dataflow checks below would
+    // chase out-of-range ids otherwise); diagnostics from it are
+    // only reported when the cfg check is enabled.
+    bool safe = structuralCfg(k, em, opt.check_cfg);
+
+    const bool has_intervals = ia != nullptr && !ia->intervals.empty();
+
+    if (has_intervals && opt.check_capacity)
+        checkCapacity(*ia, max_regs, em);
+
+    if (!safe)
+        return out;
+
+    CfgInfo cfg = analyzeCfg(k);
+    if (opt.check_cfg)
+        checkCfgGlobal(k, cfg, em);
+    if (opt.check_def_use)
+        checkDefUse(k, cfg, em);
+    if (opt.check_dead_bit)
+        checkDeadBits(k, em);
+
+    bool has_prefetch = false;
+    for (const BasicBlock &bb : k.blocks)
+        for (const Instruction &ins : bb.instrs)
+            if (ins.op == Opcode::PREFETCH)
+                has_prefetch = true;
+
+    if (has_intervals) {
+        if (opt.check_interval)
+            checkIntervals(k, *ia, em);
+        // A formation result whose kernel carries no PREFETCH yet is
+        // a pre-insertion intermediate: nothing to prove residency
+        // with (see header).
+        if (has_prefetch && opt.check_residency)
+            checkResidency(k, cfg, *ia, em);
+        if (has_prefetch && opt.check_prefetch)
+            checkPrefetchSanity(k, em);
+    } else if (has_prefetch && opt.check_prefetch) {
+        for (const BasicBlock &bb : k.blocks) {
+            for (size_t i = 0; i < bb.instrs.size(); i++) {
+                if (bb.instrs[i].op == Opcode::PREFETCH) {
+                    em.emit(VerifyCheck::PREFETCH, bb.id,
+                            static_cast<int>(i),
+                            "PREFETCH in a kernel without interval "
+                            "annotations");
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+VerifyResult
+verifyKernel(const Kernel &kernel, const VerifyOptions &opt)
+{
+    return verifyImpl(kernel, nullptr, 0, opt);
+}
+
+VerifyResult
+verifyAnalysis(const IntervalAnalysis &analysis, int max_regs,
+               const VerifyOptions &opt)
+{
+    return verifyImpl(analysis.kernel, &analysis, max_regs, opt);
+}
+
+} // namespace ltrf

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Static kernel-IR verifier.
+ *
+ * LTRF's premise (paper section 3) is a *compile-time guarantee*:
+ * registers are partitioned into intervals and PREFETCH operations
+ * are inserted such that every register access hits the fast register
+ * file. Nothing in the simulator enforces that — a kernel violating
+ * the guarantee silently simulates a wrong IPC. This module proves
+ * the guarantee (and the supporting IR well-formedness invariants)
+ * statically over the CFG, reporting structured diagnostics instead
+ * of asserting, so it can gate hand-built suite kernels, future
+ * textual-loader kernels, and fuzzer-generated kernels alike.
+ *
+ * Checks (each individually toggleable via VerifyOptions):
+ *
+ *  - cfg: structural well-formedness. Successor/predecessor targets
+ *    in range and symmetric, at most two successors, control ops only
+ *    as terminators (BRA for two-successor blocks, EXIT for terminal
+ *    blocks), operand registers within num_regs, memory streams in
+ *    range, single-entry CFG, every block reachable from the entry,
+ *    and reducibility (interval formation assumes it, section 3.3).
+ *
+ *  - def-use: reaching-definition sanity. Every register read must be
+ *    reachable by at least one definition of that register. This is
+ *    deliberately the *weak* (exists-a-path) variant: the strict
+ *    all-paths form is violated by design in the synthetic suite,
+ *    whose loop accumulators are seeded by their own first iteration
+ *    (`ffma r, a, b, r` inside a loop), the standard idiom for a
+ *    timing-only simulator with no register values. A read no def
+ *    can ever reach is still certainly a defect.
+ *
+ *  - interval: interval-map consistency. Every block assigned to an
+ *    in-range interval, member lists and block_interval agree, every
+ *    inter-interval edge enters through the target interval's header
+ *    (the single-entry invariant), and each working set covers every
+ *    register its member blocks touch.
+ *
+ *  - residency: the paper's fast-RF guarantee, the headline check.
+ *    On every path to a register access of r, a PREFETCH whose mask
+ *    contains r executes after the last crossing out of r's interval
+ *    and before the access. Proven by forward dataflow: the resident
+ *    set at a point is the last-executed PREFETCH mask (a prefetch
+ *    loads a warp's whole fast-RF partition, evicting the previous
+ *    interval), met with set intersection across predecessors; every
+ *    non-PREFETCH operand (read or write — both must hit the fast
+ *    RF) must be in the resident set. Also checks structurally that
+ *    each interval header begins with a PREFETCH covering the
+ *    interval's working set.
+ *
+ *  - dead-bit: dead-operand soundness (LTRF+, section 3.2). An
+ *    operand marked dead must not be live after its instruction;
+ *    re-derived from an independent liveness recomputation. A live
+ *    operand left unmarked is merely a lost optimization and is not
+ *    flagged.
+ *
+ *  - capacity: every interval working set fits the per-warp fast-RF
+ *    partition (the configured regs_per_interval).
+ *
+ *  - prefetch: prefetch sanity. A PREFETCH with a non-empty mask
+ *    must have at least one masked register accessed on some path
+ *    before the next PREFETCH (otherwise the slot is pure waste),
+ *    and PREFETCH ops may not appear in kernels compiled without
+ *    interval formation. Empty-mask prefetches are tolerated: the
+ *    formation passes legitimately produce register-free intervals
+ *    (e.g. an exit block holding only EXIT).
+ *
+ * Verification is pure analysis: it never mutates the kernel and
+ * never panics on malformed input (out-of-range ids short-circuit
+ * the dataflow checks that would chase them).
+ */
+
+#ifndef LTRF_COMPILER_VERIFY_HH
+#define LTRF_COMPILER_VERIFY_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/register_interval.hh"
+#include "isa/kernel.hh"
+
+namespace ltrf
+{
+
+/** Identifies which invariant family a diagnostic belongs to. */
+enum class VerifyCheck
+{
+    CFG,
+    DEF_USE,
+    INTERVAL,
+    RESIDENCY,
+    DEAD_BIT,
+    CAPACITY,
+    PREFETCH,
+};
+
+/** @return the stable check id, e.g. "residency". */
+const char *verifyCheckName(VerifyCheck c);
+
+/**
+ * Parse a check id as printed by verifyCheckName(); @return false on
+ * an unknown name (used by `ltrf_run --verify-skip`).
+ */
+bool parseVerifyCheck(const std::string &name, VerifyCheck &out);
+
+/** Which checks to run (all by default) and how much to report. */
+struct VerifyOptions
+{
+    bool check_cfg = true;
+    bool check_def_use = true;
+    bool check_interval = true;
+    bool check_residency = true;
+    bool check_dead_bit = true;
+    bool check_capacity = true;
+    bool check_prefetch = true;
+
+    /** Diagnostics kept per kernel; further findings are counted
+     *  (VerifyResult::dropped) but not stored. */
+    int max_diagnostics = 64;
+
+    /** Disable check @p c (for `--verify-skip` style toggles). */
+    void disable(VerifyCheck c);
+};
+
+/** One verifier finding. */
+struct VerifyDiag
+{
+    VerifyCheck check = VerifyCheck::CFG;
+    /** Offending block, or INVALID_BLOCK for kernel-level findings. */
+    BlockId block = INVALID_BLOCK;
+    /** Instruction index within the block; -1 for block-level. */
+    int instr = -1;
+    std::string message;
+
+    /** Render as "[residency] block 3 instr 2: ...". */
+    std::string toString() const;
+};
+
+/** Result of verifying one kernel. */
+struct VerifyResult
+{
+    std::string kernel;
+    std::vector<VerifyDiag> diags;
+    /** Findings beyond VerifyOptions::max_diagnostics. */
+    int dropped = 0;
+
+    bool clean() const { return diags.empty() && dropped == 0; }
+
+    /** @return true if any stored diagnostic belongs to check @p c. */
+    bool has(VerifyCheck c) const;
+
+    /** Count of stored diagnostics for check @p c. */
+    int count(VerifyCheck c) const;
+
+    /** All diagnostics rendered one per line (empty when clean). */
+    std::string report() const;
+};
+
+/**
+ * Verify a bare kernel (no interval annotations): the cfg, def-use,
+ * and dead-bit checks. Interval-dependent checks are skipped.
+ */
+VerifyResult verifyKernel(const Kernel &kernel,
+                          const VerifyOptions &opt = VerifyOptions{});
+
+/**
+ * Verify a formation result: all checks, against the transformed
+ * kernel the analysis carries. @p max_regs is the configured per-warp
+ * fast-RF partition (SimConfig::regs_per_interval) the capacity
+ * check proves working sets against.
+ *
+ * If @p analysis has intervals but its kernel contains no PREFETCH
+ * op at all, it is treated as a pre-insertion intermediate: the
+ * residency and prefetch checks are skipped (there is nothing to
+ * prove residency with yet), while interval/capacity still run.
+ */
+VerifyResult verifyAnalysis(const IntervalAnalysis &analysis, int max_regs,
+                            const VerifyOptions &opt = VerifyOptions{});
+
+} // namespace ltrf
+
+#endif // LTRF_COMPILER_VERIFY_HH

@@ -38,8 +38,7 @@ classifyShrfRegisters(const IntervalAnalysis &ia)
 } // namespace
 
 CompiledWorkload
-compileWorkload(const Kernel &kernel, const SimConfig &cfg,
-                std::uint64_t seed, std::uint64_t max_trace_instrs)
+compileWorkloadStatic(const Kernel &kernel, const SimConfig &cfg)
 {
     CompiledWorkload out;
     out.design = cfg.design;
@@ -75,6 +74,14 @@ compileWorkload(const Kernel &kernel, const SimConfig &cfg,
 
     // Dead-operand bits (consumed by LTRF+; harmless otherwise).
     annotateDeadOperands(out.analysis.kernel);
+    return out;
+}
+
+CompiledWorkload
+compileWorkload(const Kernel &kernel, const SimConfig &cfg,
+                std::uint64_t seed, std::uint64_t max_trace_instrs)
+{
+    CompiledWorkload out = compileWorkloadStatic(kernel, cfg);
 
     // Per-warp traces. All SMs share the same per-warp trace set;
     // memory address streams still differ per SM at simulation time.

@@ -60,6 +60,17 @@ struct CompiledWorkload
 };
 
 /**
+ * The static half of compilation: formation, PREFETCH insertion,
+ * SHRF classification, and dead-operand annotation for the design in
+ * @p cfg — everything except trace generation (the result's `traces`
+ * is left empty). This is what the static verifier inspects; the
+ * `--verify-only` CLI mode uses it to check the whole suite without
+ * paying for per-warp traces.
+ */
+CompiledWorkload compileWorkloadStatic(const Kernel &kernel,
+                                       const SimConfig &cfg);
+
+/**
  * Compile @p kernel for the design in @p cfg and generate
  * per-warp traces seeded from @p seed.
  *

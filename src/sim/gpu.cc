@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "compiler/verify.hh"
 
 namespace ltrf
 {
@@ -24,6 +25,16 @@ Gpu::Gpu(const SimConfig &cfg, const Kernel &kernel, std::uint64_t seed)
 {
     config.validate();
     compiled = compileWorkload(kernel, config, seed);
+    if (config.verify_kernels) {
+        VerifyResult vr = verifyAnalysis(compiled.analysis,
+                                         config.regs_per_interval);
+        if (!vr.clean()) {
+            ltrf_fatal("kernel '%s' failed static verification "
+                       "(%zu diagnostics):\n%s",
+                       workload_name.c_str(), vr.diags.size(),
+                       vr.report().c_str());
+        }
+    }
     mem = std::make_unique<MemSystem>(config);
     int resident = residentWarps(config, kernel);
     for (int s = 0; s < config.num_sms; s++) {

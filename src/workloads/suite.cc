@@ -9,6 +9,13 @@
  * register demand — the property LTRF's register-intervals exploit.
  * Register-insensitive kernels use <= 32 registers so the baseline
  * 256KB register file already sustains 64 warps.
+ *
+ * Every kernel here is gated by the static verifier: the suite must
+ * compile clean under every design (tests/test_verifier.cc,
+ * `ltrf_run --verify-only`), and each simulate() re-verifies behind
+ * SimConfig::verify_kernels. A new workload that reads a register no
+ * definition reaches, or whose intervals break the fast-RF residency
+ * guarantee, fails at the door rather than simulating a wrong IPC.
  */
 
 #include <vector>

@@ -152,3 +152,57 @@ TEST(CfgAnalysis, BuilderCfgsAreReducible)
     EXPECT_TRUE(info.reducible);
     EXPECT_EQ(info.loops.size(), 3u);
 }
+
+TEST(CfgAnalysis, InvalidAndOutOfRangeIdsAreHandled)
+{
+    // reachable()/dominates() must reject INVALID_BLOCK and
+    // out-of-range ids instead of indexing out of bounds — the
+    // static verifier probes possibly-corrupt CFGs through them.
+    KernelBuilder b("diamond");
+    b.beginIf(0.5, 0);
+    b.mov(1);
+    b.beginElse();
+    b.mov(2);
+    b.endIf();
+    Kernel k = b.build();
+    CfgInfo info = analyzeCfg(k);
+    const BlockId n = static_cast<BlockId>(k.numBlocks());
+
+    EXPECT_FALSE(info.reachable(INVALID_BLOCK));
+    EXPECT_FALSE(info.reachable(-5));
+    EXPECT_FALSE(info.reachable(n));
+    EXPECT_FALSE(info.reachable(n + 100));
+    EXPECT_TRUE(info.reachable(k.entry()));
+
+    EXPECT_FALSE(info.dominates(INVALID_BLOCK, k.entry()));
+    EXPECT_FALSE(info.dominates(k.entry(), INVALID_BLOCK));
+    EXPECT_FALSE(info.dominates(n, k.entry()));
+    EXPECT_FALSE(info.dominates(k.entry(), n + 7));
+    EXPECT_TRUE(info.dominates(k.entry(), k.entry()));
+}
+
+TEST(CfgAnalysis, UnreachableBlocksNeitherDominateNorAreDominated)
+{
+    // Hand-build a CFG with an unreachable block: entry -> exit,
+    // plus an orphan that also branches to the exit.
+    Kernel k;
+    k.name = "orphan";
+    k.num_regs = 1;
+    k.blocks.resize(3);
+    for (int i = 0; i < 3; i++)
+        k.blocks[i].id = i;
+    k.blocks[0].instrs.push_back(Instruction::branch(INVALID_REG));
+    k.blocks[0].succs = {2};
+    k.blocks[1].instrs.push_back(Instruction::branch(INVALID_REG));
+    k.blocks[1].succs = {2};
+    k.blocks[2].instrs.push_back(Instruction::exit());
+    k.blocks[2].preds = {0, 1};
+
+    CfgInfo info = analyzeCfg(k);
+    EXPECT_TRUE(info.reachable(0));
+    EXPECT_FALSE(info.reachable(1));
+    EXPECT_TRUE(info.reachable(2));
+    EXPECT_FALSE(info.dominates(1, 2));
+    EXPECT_FALSE(info.dominates(0, 1));
+    EXPECT_FALSE(info.dominates(1, 1));
+}

@@ -1,0 +1,508 @@
+/**
+ * @file
+ * Tests for the static kernel-IR verifier (src/compiler/verify.hh).
+ *
+ * Two halves:
+ *  - positive: every suite workload compiled for every design
+ *    verifies clean (the gate the Gpu constructor applies);
+ *  - negative: a seeded mutation harness plants one corruption class
+ *    at a time into compiled suite kernels and asserts the verifier
+ *    reports the planted defect under the expected check id — the
+ *    proof the analysis has teeth.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "compiler/verify.hh"
+#include "core/compile.hh"
+#include "isa/kernel_builder.hh"
+#include "workloads/workload.hh"
+
+using namespace ltrf;
+
+namespace
+{
+
+SimConfig
+configFor(RfDesign d, int regs_per_interval = 16)
+{
+    SimConfig cfg;
+    cfg.design = d;
+    cfg.regs_per_interval = regs_per_interval;
+    return cfg;
+}
+
+constexpr RfDesign ALL_DESIGNS[] = {
+        RfDesign::BL,   RfDesign::RFC,         RfDesign::SHRF,
+        RfDesign::LTRF, RfDesign::LTRF_STRAND, RfDesign::LTRF_PLUS,
+        RfDesign::IDEAL,
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Positive half: the whole suite is clean under every compile config.
+// ---------------------------------------------------------------------
+
+TEST(Verifier, SuiteCleanUnderEveryDesign)
+{
+    for (const Workload &w : WorkloadSuite::all()) {
+        for (RfDesign d : ALL_DESIGNS) {
+            SimConfig cfg = configFor(d);
+            CompiledWorkload cw = compileWorkloadStatic(w.kernel, cfg);
+            VerifyResult r =
+                    verifyAnalysis(cw.analysis, cfg.regs_per_interval);
+            EXPECT_TRUE(r.clean())
+                    << w.name << " / " << rfDesignName(d) << ":\n"
+                    << r.report();
+        }
+    }
+}
+
+TEST(Verifier, SuiteCleanAtSmallerPartition)
+{
+    // Interval formation must respect a tighter fast-RF partition
+    // too; the capacity check proves it did.
+    for (const Workload &w : WorkloadSuite::all()) {
+        SimConfig cfg = configFor(RfDesign::LTRF, 8);
+        CompiledWorkload cw = compileWorkloadStatic(w.kernel, cfg);
+        VerifyResult r = verifyAnalysis(cw.analysis, 8);
+        EXPECT_TRUE(r.clean()) << w.name << ":\n" << r.report();
+    }
+}
+
+TEST(Verifier, RawSuiteKernelsClean)
+{
+    for (const Workload &w : WorkloadSuite::all()) {
+        VerifyResult r = verifyKernel(w.kernel);
+        EXPECT_TRUE(r.clean()) << w.name << ":\n" << r.report();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Diagnostics plumbing.
+// ---------------------------------------------------------------------
+
+TEST(Verifier, CheckNamesRoundTrip)
+{
+    for (VerifyCheck c : {VerifyCheck::CFG, VerifyCheck::DEF_USE,
+                          VerifyCheck::INTERVAL, VerifyCheck::RESIDENCY,
+                          VerifyCheck::DEAD_BIT, VerifyCheck::CAPACITY,
+                          VerifyCheck::PREFETCH}) {
+        VerifyCheck back = VerifyCheck::CFG;
+        ASSERT_TRUE(parseVerifyCheck(verifyCheckName(c), back));
+        EXPECT_EQ(back, c);
+    }
+    VerifyCheck dummy;
+    EXPECT_FALSE(parseVerifyCheck("bogus", dummy));
+    EXPECT_FALSE(parseVerifyCheck("", dummy));
+}
+
+TEST(Verifier, UndefinedReadReported)
+{
+    KernelBuilder b("undef");
+    b.mov(0);
+    b.iadd(2, 0, 1); // r1 never defined anywhere
+    Kernel k = b.build();
+    VerifyResult r = verifyKernel(k);
+    EXPECT_TRUE(r.has(VerifyCheck::DEF_USE)) << r.report();
+
+    // ...and the check is individually toggleable.
+    VerifyOptions opt;
+    opt.disable(VerifyCheck::DEF_USE);
+    EXPECT_TRUE(verifyKernel(k, opt).clean());
+}
+
+TEST(Verifier, LoopCarriedAccumulatorIsClean)
+{
+    // The suite's standard idiom: an accumulator seeded by its own
+    // first iteration. The weak (exists-a-path) def-use check must
+    // tolerate it.
+    KernelBuilder b("acc");
+    b.mov(0).mov(1);
+    b.beginLoop(8);
+    b.ffma(2, 0, 1, 2);
+    b.endLoop();
+    Kernel k = b.build();
+    EXPECT_TRUE(verifyKernel(k).clean()) << verifyKernel(k).report();
+}
+
+TEST(Verifier, MaxDiagnosticsBounded)
+{
+    KernelBuilder b("many-undef");
+    b.mov(0);
+    for (int i = 1; i <= 20; i++)
+        b.iadd(0, i, i); // 40 undefined reads
+    Kernel k = b.build();
+    VerifyOptions opt;
+    opt.max_diagnostics = 5;
+    VerifyResult r = verifyKernel(k, opt);
+    EXPECT_EQ(r.diags.size(), 5u);
+    EXPECT_GT(r.dropped, 0);
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Verifier, DiagToStringNamesCheckAndLocation)
+{
+    VerifyDiag d;
+    d.check = VerifyCheck::RESIDENCY;
+    d.block = 3;
+    d.instr = 2;
+    d.message = "boom";
+    EXPECT_EQ(d.toString(), "[residency] block 3 instr 2: boom");
+}
+
+// ---------------------------------------------------------------------
+// Negative half: the seeded kernel-mutation harness. Each corruption
+// class plants one defect into an LTRF-compiled suite kernel; the
+// verifier must report the planted class. Mutators return false when
+// a kernel offers no applicable site; every class must apply to at
+// least one suite kernel.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct Corruption
+{
+    const char *name;
+    VerifyCheck expect;
+    std::function<bool(CompiledWorkload &)> apply;
+};
+
+/** Count defs/reads of every register in @p k (PREFETCH excluded). */
+void
+countAccesses(const Kernel &k, std::vector<int> &defs,
+              std::vector<int> &reads)
+{
+    defs.assign(static_cast<size_t>(k.num_regs), 0);
+    reads.assign(static_cast<size_t>(k.num_regs), 0);
+    for (const BasicBlock &bb : k.blocks) {
+        for (const Instruction &in : bb.instrs) {
+            if (in.op == Opcode::PREFETCH)
+                continue;
+            if (in.dst != INVALID_REG)
+                defs[in.dst]++;
+            for (RegId s : in.srcs)
+                if (s != INVALID_REG)
+                    reads[s]++;
+        }
+    }
+}
+
+bool
+retargetBranch(CompiledWorkload &cw)
+{
+    Kernel &k = cw.analysis.kernel;
+    const int n = k.numBlocks();
+    for (BasicBlock &bb : k.blocks) {
+        if (bb.succs.empty())
+            continue;
+        for (BlockId v = 0; v < n; v++) {
+            if (v == bb.id ||
+                std::find(bb.succs.begin(), bb.succs.end(), v) !=
+                        bb.succs.end()) {
+                continue;
+            }
+            // Redirect the edge without fixing v's preds: the
+            // pred/succ lists go asymmetric.
+            bb.succs[0] = v;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+orphanBlock(CompiledWorkload &cw)
+{
+    Kernel &k = cw.analysis.kernel;
+    for (BasicBlock &bb : k.blocks) {
+        if (bb.id == k.entry() || bb.preds.empty())
+            continue;
+        // Cleanly remove every incoming edge (both sides), leaving
+        // the block unreachable but the CFG otherwise symmetric.
+        for (BlockId p : bb.preds) {
+            auto &ps = k.block(p).succs;
+            ps.erase(std::remove(ps.begin(), ps.end(), bb.id),
+                     ps.end());
+        }
+        bb.preds.clear();
+        return true;
+    }
+    return false;
+}
+
+bool
+dropPrefetch(CompiledWorkload &cw)
+{
+    IntervalAnalysis &ia = cw.analysis;
+    if (ia.intervals.size() < 2)
+        return false; // must leave another PREFETCH in the kernel
+    for (const RegisterInterval &iv : ia.intervals) {
+        if (iv.working_set.empty())
+            continue;
+        auto &instrs = ia.kernel.block(iv.header).instrs;
+        if (instrs.empty() || instrs.front().op != Opcode::PREFETCH)
+            continue;
+        instrs.erase(instrs.begin());
+        return true;
+    }
+    return false;
+}
+
+bool
+clearIntervalCrossing(CompiledWorkload &cw)
+{
+    IntervalAnalysis &ia = cw.analysis;
+    const int ni = static_cast<int>(ia.intervals.size());
+    if (ni < 2)
+        return false;
+    // Reassign one block in the map without updating member lists.
+    for (BlockId b = 0;
+         b < static_cast<BlockId>(ia.block_interval.size()); b++) {
+        IntervalId i = ia.block_interval[b];
+        if (i == UNKNOWN_INTERVAL)
+            continue;
+        ia.block_interval[b] = (i + 1) % ni;
+        return true;
+    }
+    return false;
+}
+
+bool
+clearMaskBit(CompiledWorkload &cw)
+{
+    IntervalAnalysis &ia = cw.analysis;
+    for (const RegisterInterval &iv : ia.intervals) {
+        if (iv.working_set.empty())
+            continue;
+        auto &instrs = ia.kernel.block(iv.header).instrs;
+        if (instrs.empty() || instrs.front().op != Opcode::PREFETCH)
+            continue;
+        // Evict one working-set register from the header PREFETCH
+        // only; the interval metadata stays intact.
+        instrs.front().prefetch_mask.clear(
+                iv.working_set.toList().front());
+        return true;
+    }
+    return false;
+}
+
+bool
+shrinkWorkingSet(CompiledWorkload &cw)
+{
+    IntervalAnalysis &ia = cw.analysis;
+    for (RegisterInterval &iv : ia.intervals) {
+        RegBitVec used;
+        for (BlockId b : iv.blocks)
+            used |= ia.kernel.block(b).usedRegs();
+        if (used.empty())
+            continue;
+        iv.working_set.clear(used.toList().front());
+        return true;
+    }
+    return false;
+}
+
+bool
+flipDeadBit(CompiledWorkload &cw)
+{
+    Kernel &k = cw.analysis.kernel;
+    for (BasicBlock &bb : k.blocks) {
+        for (size_t i = 0; i < bb.instrs.size(); i++) {
+            Instruction &in = bb.instrs[i];
+            if (in.op == Opcode::PREFETCH)
+                continue;
+            for (int s = 0; s < 3; s++) {
+                RegId r = in.srcs[s];
+                if (r == INVALID_REG || in.src_dead[s])
+                    continue;
+                // r must demonstrably be read again in this block
+                // with no redefinition in between.
+                bool live = false;
+                for (size_t j = i + 1;
+                     j < bb.instrs.size() && !live; j++) {
+                    const Instruction &later = bb.instrs[j];
+                    if (later.op == Opcode::PREFETCH)
+                        continue;
+                    for (RegId ls : later.srcs)
+                        if (ls == r)
+                            live = true;
+                    if (!live && later.dst == r)
+                        break; // redefined first: not live
+                }
+                if (live) {
+                    in.src_dead[s] = true;
+                    return true;
+                }
+            }
+        }
+    }
+    return false;
+}
+
+bool
+swapOperands(CompiledWorkload &cw)
+{
+    Kernel &k = cw.analysis.kernel;
+    for (BasicBlock &bb : k.blocks) {
+        for (Instruction &in : bb.instrs) {
+            if (in.op == Opcode::PREFETCH)
+                continue;
+            for (int a = 0; a < 3; a++) {
+                for (int b2 = a + 1; b2 < 3; b2++) {
+                    if (in.srcs[a] == INVALID_REG ||
+                        in.srcs[b2] == INVALID_REG ||
+                        in.srcs[a] == in.srcs[b2] ||
+                        in.src_dead[a] == in.src_dead[b2]) {
+                        continue;
+                    }
+                    // Swap the registers but keep the dead bits in
+                    // place: the live register lands under the dead
+                    // mark (annotateDeadOperands guarantees the
+                    // unmarked one was live).
+                    std::swap(in.srcs[a], in.srcs[b2]);
+                    return true;
+                }
+            }
+        }
+    }
+    return false;
+}
+
+bool
+dropDef(CompiledWorkload &cw)
+{
+    Kernel &k = cw.analysis.kernel;
+    std::vector<int> defs, reads;
+    countAccesses(k, defs, reads);
+    for (RegId r = 0; r < k.num_regs; r++) {
+        if (defs[r] != 1 || reads[r] == 0)
+            continue;
+        for (BasicBlock &bb : k.blocks) {
+            for (Instruction &in : bb.instrs) {
+                if (in.op != Opcode::PREFETCH && in.dst == r) {
+                    in.dst = INVALID_REG;
+                    return true;
+                }
+            }
+        }
+    }
+    return false;
+}
+
+bool
+overflowCapacity(CompiledWorkload &cw)
+{
+    IntervalAnalysis &ia = cw.analysis;
+    constexpr int PARTITION = 16; // must match the verify call below
+    for (RegisterInterval &iv : ia.intervals) {
+        auto &instrs = ia.kernel.block(iv.header).instrs;
+        if (instrs.empty() || instrs.front().op != Opcode::PREFETCH)
+            continue;
+        // Widen both the working set and its header PREFETCH (so
+        // only the capacity invariant breaks) past the partition.
+        for (int r = RegBitVec::NUM_BITS - 1;
+             r >= 0 && iv.working_set.count() <= PARTITION; r--) {
+            iv.working_set.set(r);
+            instrs.front().prefetch_mask.set(r);
+        }
+        return true;
+    }
+    return false;
+}
+
+bool
+plantWastedPrefetch(CompiledWorkload &cw)
+{
+    if (cw.analysis.intervals.empty())
+        return false;
+    Kernel &k = cw.analysis.kernel;
+    for (BasicBlock &bb : k.blocks) {
+        if (!bb.succs.empty() || bb.instrs.empty() ||
+            bb.instrs.back().op != Opcode::EXIT) {
+            continue;
+        }
+        // A PREFETCH of a never-touched register right before EXIT:
+        // nothing can consume it, and nothing after it reads any
+        // register, so only the wasted-slot invariant breaks.
+        RegBitVec mask;
+        mask.set(RegBitVec::NUM_BITS - 1);
+        bb.instrs.insert(bb.instrs.end() - 1,
+                         Instruction::prefetch(mask));
+        return true;
+    }
+    return false;
+}
+
+std::vector<Corruption>
+corruptions()
+{
+    return {
+            {"retarget-branch", VerifyCheck::CFG, retargetBranch},
+            {"orphan-block", VerifyCheck::CFG, orphanBlock},
+            {"drop-prefetch", VerifyCheck::RESIDENCY, dropPrefetch},
+            {"clear-crossing", VerifyCheck::INTERVAL,
+             clearIntervalCrossing},
+            {"clear-mask-bit", VerifyCheck::RESIDENCY, clearMaskBit},
+            {"shrink-working-set", VerifyCheck::INTERVAL,
+             shrinkWorkingSet},
+            {"flip-dead-bit", VerifyCheck::DEAD_BIT, flipDeadBit},
+            {"swap-operands", VerifyCheck::DEAD_BIT, swapOperands},
+            {"drop-def", VerifyCheck::DEF_USE, dropDef},
+            {"overflow-capacity", VerifyCheck::CAPACITY,
+             overflowCapacity},
+            {"wasted-prefetch", VerifyCheck::PREFETCH,
+             plantWastedPrefetch},
+    };
+}
+
+} // namespace
+
+TEST(VerifierMutation, EveryPlantedDefectClassDetected)
+{
+    SimConfig cfg = configFor(RfDesign::LTRF, 16);
+    for (const Corruption &c : corruptions()) {
+        int applied = 0;
+        for (const Workload &w : WorkloadSuite::all()) {
+            CompiledWorkload cw = compileWorkloadStatic(w.kernel, cfg);
+            if (!c.apply(cw))
+                continue;
+            applied++;
+            VerifyResult r = verifyAnalysis(cw.analysis, 16);
+            EXPECT_FALSE(r.clean())
+                    << c.name << " on " << w.name
+                    << ": mutation went undetected";
+            EXPECT_TRUE(r.has(c.expect))
+                    << c.name << " on " << w.name << " expected a "
+                    << verifyCheckName(c.expect)
+                    << " diagnostic, got:\n"
+                    << r.report();
+        }
+        EXPECT_GE(applied, 1)
+                << c.name << " found no applicable suite kernel";
+    }
+}
+
+TEST(VerifierMutation, DisablingTheCheckSilencesTheDefect)
+{
+    // The toggles must really gate their checks: with the expected
+    // check disabled, the planted drop-prefetch defect goes silent.
+    SimConfig cfg = configFor(RfDesign::LTRF, 16);
+    for (const Workload &w : WorkloadSuite::all()) {
+        CompiledWorkload cw = compileWorkloadStatic(w.kernel, cfg);
+        if (!dropPrefetch(cw))
+            continue;
+        VerifyOptions opt;
+        opt.disable(VerifyCheck::RESIDENCY);
+        VerifyResult r = verifyAnalysis(cw.analysis, 16, opt);
+        EXPECT_FALSE(r.has(VerifyCheck::RESIDENCY)) << r.report();
+        return; // one applicable kernel is enough
+    }
+    FAIL() << "drop-prefetch applied to no suite kernel";
+}
